@@ -1,0 +1,60 @@
+// Command coalitiond runs a coalition policy server over TCP: it forms an
+// alliance, enrolls demo users, installs a jointly owned object, and then
+// serves joint access requests, revocations, dynamics events and audit
+// queries from policyctl.
+//
+//	go run ./cmd/coalitiond -listen 127.0.0.1:7707
+//	go run ./cmd/policyctl  -server 127.0.0.1:7707 -cmd write -signers alice,bob -data "v2"
+//
+// The protocol and alliance logic live in internal/daemon; this command is
+// the thin process wrapper.
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+
+	"jointadmin/internal/daemon"
+	"jointadmin/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7707", "address to serve on")
+	domains := flag.String("domains", "D1,D2,D3", "comma-separated member domains")
+	users := flag.String("users", "alice,bob,carol", "comma-separated demo users (assigned to domains round-robin)")
+	writeM := flag.Int("write-threshold", 2, "co-signers required for writes")
+	flag.Parse()
+	if err := run(*listen, splitCSV(*domains), splitCSV(*users), *writeM); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(listen string, domains, users []string, writeM int) error {
+	d, err := daemon.New(daemon.Config{
+		Domains:        domains,
+		Users:          users,
+		WriteThreshold: writeM,
+	})
+	if err != nil {
+		return err
+	}
+	node, err := transport.ListenTCP("coalitiond", listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	log.Printf("coalitiond serving on %s (domains=%v users=%v write-threshold=%d)",
+		node.Addr(), domains, users, writeM)
+	return d.Serve(node)
+}

@@ -1,0 +1,146 @@
+// Command experiments regenerates the paper's quantitative claims as
+// printed tables (the counterpart of EXPERIMENTS.md; timing-shaped series
+// live in the go-test benchmarks):
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -only e3   # one of e1, e3, e4, e8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/sim"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e8")
+	trials := flag.Int("trials", 300, "availability trials per cell")
+	flag.Parse()
+	run := func(id string, f func() error) {
+		if *only != "" && *only != id {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+	run("e1", e1KeygenShape)
+	run("e3", func() error { return e3Availability(*trials) })
+	run("e4", e4TrustLiability)
+	run("e8", e8Collusion)
+}
+
+// e1KeygenShape: keygen vs joint signature timing (Section 3.1).
+func e1KeygenShape() error {
+	fmt.Println("E1/E2 — shared keygen vs joint signature (Malkin et al. shape)")
+	fmt.Println("bits   n   keygen        sign        attempts")
+	for _, bits := range []int{128, 256} {
+		start := time.Now()
+		res, err := sharedrsa.GenerateShared(sharedrsa.Config{Parties: 3, Bits: bits})
+		if err != nil {
+			return err
+		}
+		keygen := time.Since(start)
+		msg := []byte("probe")
+		start = time.Now()
+		const signReps = 20
+		for i := 0; i < signReps; i++ {
+			if _, err := sharedrsa.SignJointly(msg, res.Public, res.Shares); err != nil {
+				return err
+			}
+		}
+		sign := time.Since(start) / signReps
+		fmt.Printf("%4d   3   %-12v  %-10v  %d\n", bits, keygen.Round(time.Millisecond), sign.Round(time.Microsecond), res.Attempts)
+	}
+	fmt.Println("shape: keygen is a heavy rejection search; signing is orders of magnitude cheaper.")
+	return nil
+}
+
+// e3Availability: the Section 3.3 availability table.
+func e3Availability(trials int) error {
+	fmt.Println("E3 — m-of-n signature availability under domain downtime (n = 7)")
+	fmt.Println("          p=0.05     p=0.10     p=0.20     p=0.30")
+	for _, m := range []int{7, 6, 5, 4, 3} {
+		fmt.Printf("m=%d   ", m)
+		for _, p := range []float64{0.05, 0.10, 0.20, 0.30} {
+			res, err := sim.RunAvailability(sim.AvailabilityConfig{
+				N: 7, M: m, Downtime: p, Trials: trials, Seed: 42, Bits: 512,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %5.3f    ", res.Rate())
+		}
+		fmt.Println()
+	}
+	fmt.Println("every successful trial is a real quorum signature; n-of-n (m=7) collapses,")
+	fmt.Println("lower thresholds restore availability at the cost of full consensus.")
+	return nil
+}
+
+// e4TrustLiability: the Case I vs Case II forgery table.
+func e4TrustLiability() error {
+	fmt.Println("E4 — forgery after compromising k of 3 domains")
+	fmt.Println("k    Case I (lock box)    Case II (shared key)")
+	for k := 0; k <= 3; k++ {
+		res, err := sim.RunForgery(sim.ForgeryConfig{Domains: 3, Bits: 512}, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d    %-20v %v\n", k, res.CaseIForged, res.CaseIIForged)
+	}
+	fmt.Println("Case I is a single point of trust failure; Case II requires ALL domains.")
+	return nil
+}
+
+// e8Collusion: collusion privacy of the n-of-n sharing.
+func e8Collusion() error {
+	fmt.Println("E8 — colluding coalitions pooling their complete secret views (n = 5)")
+	res, err := sharedrsa.GenerateShared(sharedrsa.Config{Parties: 5, Bits: 128})
+	if err != nil {
+		return err
+	}
+	msg := []byte("collusion probe")
+	h := sharedrsa.HashMessage(msg, res.Public)
+	fmt.Println("colluders   can sign   can factor N")
+	for k := 1; k <= 5; k++ {
+		fmt.Printf("%d/5         %-10v %v\n", k, canSign(res, h, k), canFactor(res, k))
+	}
+	fmt.Println("recovery of the private key requires every domain's view.")
+	return nil
+}
+
+// canSign pools the first k d-shares and tries bounded trial correction,
+// exactly as the collusion test in internal/sharedrsa does.
+func canSign(res *sharedrsa.Result, h *big.Int, k int) bool {
+	d := new(big.Int)
+	for _, v := range res.Views[:k] {
+		d.Add(d, v.DShare)
+	}
+	for j := 0; j <= len(res.Views); j++ {
+		exp := new(big.Int).Add(d, big.NewInt(int64(j)))
+		s := new(big.Int).Exp(h, exp, res.Public.N)
+		if new(big.Int).Exp(s, res.Public.E, res.Public.N).Cmp(h) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// canFactor pools the first k p-shares; only the full sum divides N.
+func canFactor(res *sharedrsa.Result, k int) bool {
+	p := new(big.Int)
+	for _, v := range res.Views[:k] {
+		p.Add(p, v.PShare)
+	}
+	if p.Cmp(big.NewInt(1)) <= 0 {
+		return false
+	}
+	return new(big.Int).Mod(res.Public.N, p).Sign() == 0
+}

@@ -1,0 +1,107 @@
+// Command policyctl is the admin client for coalitiond: it submits joint
+// access requests, revocations, coalition-dynamics events, and audit
+// queries over TCP.
+//
+//	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd write -signers alice,bob -data "v2"
+//	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd read  -signers carol
+//	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd audit
+//	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd join -domain D4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"jointadmin/internal/transport"
+)
+
+// Command mirrors coalitiond's request type.
+type Command struct {
+	Cmd     string   `json:"cmd"`
+	Group   string   `json:"group,omitempty"`
+	Object  string   `json:"object,omitempty"`
+	Data    string   `json:"data,omitempty"`
+	Signers []string `json:"signers,omitempty"`
+	Domain  string   `json:"domain,omitempty"`
+}
+
+// Reply mirrors coalitiond's response type.
+type Reply struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	Data   string `json:"data,omitempty"`
+}
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7707", "coalitiond address")
+	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, join, leave")
+	group := flag.String("group", "", "group name (defaults per command)")
+	object := flag.String("object", "", "object name (default O)")
+	data := flag.String("data", "", "write payload")
+	signers := flag.String("signers", "", "comma-separated co-signers")
+	domain := flag.String("domain", "", "domain for join/leave")
+	timeout := flag.Duration("timeout", 10*time.Second, "reply timeout")
+	flag.Parse()
+
+	if err := run(*server, Command{
+		Cmd:     *cmd,
+		Group:   *group,
+		Object:  *object,
+		Data:    *data,
+		Signers: splitCSV(*signers),
+		Domain:  *domain,
+	}, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(server string, cmd Command, timeout time.Duration) error {
+	node, err := transport.ListenTCP("policyctl", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	node.AddPeer("coalitiond", server)
+
+	body, err := json.Marshal(cmd)
+	if err != nil {
+		return err
+	}
+	// The reply address rides in the Kind field ("cmd@addr").
+	if err := node.Send("coalitiond", "cmd@"+node.Addr(), body); err != nil {
+		return err
+	}
+	env, err := node.RecvTimeout(timeout)
+	if err != nil {
+		return fmt.Errorf("no reply from %s: %w", server, err)
+	}
+	var reply Reply
+	if err := json.Unmarshal(env.Payload, &reply); err != nil {
+		return fmt.Errorf("bad reply: %w", err)
+	}
+	if reply.Detail != "" {
+		fmt.Println(reply.Detail)
+	}
+	if reply.Data != "" {
+		fmt.Println(reply.Data)
+	}
+	if !reply.OK {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module jointadmin
+
+go 1.22

@@ -1,0 +1,47 @@
+package jointadmin
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestIdentityRevocation: after bob's domain CA withdraws his key binding,
+// joint requests counting on bob's signature are denied — even though the
+// threshold attribute certificate itself is still valid. The other users'
+// quorums keep working.
+func TestIdentityRevocation(t *testing.T) {
+	a, srv := newGeneticsAlliance(t)
+	// Baseline: alice+bob write works.
+	if _, err := a.JointRequest(srv, "G_write", "write", "O", []byte("v2"), "alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.RevokeIdentity("bob", srv); err != nil {
+		t.Fatal(err)
+	}
+	a.Clock().Tick()
+
+	// bob's signature no longer counts: alice+bob is now below threshold.
+	if _, err := a.JointRequest(srv, "G_write", "write", "O", []byte("v3"), "alice", "bob"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write with revoked identity: %v", err)
+	}
+	// alice+carol still form a valid quorum under the same certificate.
+	if _, err := a.JointRequest(srv, "G_write", "write", "O", []byte("v3"), "alice", "carol"); err != nil {
+		t.Fatalf("write after unrelated identity revocation: %v", err)
+	}
+	// bob alone cannot read either.
+	if _, err := a.JointRequest(srv, "G_read", "read", "O", nil, "bob"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("read with revoked identity: %v", err)
+	}
+	// carol can.
+	if _, err := a.JointRequest(srv, "G_read", "read", "O", nil, "carol"); err != nil {
+		t.Fatalf("read by unaffected user: %v", err)
+	}
+}
+
+func TestIdentityRevocationUnknownUser(t *testing.T) {
+	a, srv := newGeneticsAlliance(t)
+	if err := a.RevokeIdentity("nobody", srv); err == nil {
+		t.Fatal("revocation of unknown user succeeded")
+	}
+}

@@ -1,0 +1,285 @@
+// Package acl implements policy objects and access control lists as the
+// paper defines them (Section 4.3): "the ACL is a simple disjunction of
+// expressions associated with Object O; ACL_O: {E0, E1, …, En} where each
+// expression Ei = (G, access permissions) for a group G". Setting and
+// updating policy objects is itself an operation mediated by threshold
+// attribute certificates — the Store records versions so that joint
+// administration of the policy objects can be audited.
+package acl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jointadmin/internal/clock"
+)
+
+// Permission names an access right on an object. The paper's example uses
+// write ("creation and modification") and read.
+type Permission string
+
+// The permissions of the running example, plus policy administration
+// ("setting and updating of policy objects").
+const (
+	Read   Permission = "read"
+	Write  Permission = "write"
+	Modify Permission = "modify-policy"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoObject indicates an unknown object name.
+	ErrNoObject = errors.New("acl: no such object")
+	// ErrDenied indicates the ACL does not grant the permission.
+	ErrDenied = errors.New("acl: permission not granted")
+	// ErrBadEntry indicates a malformed ACL entry.
+	ErrBadEntry = errors.New("acl: malformed entry")
+)
+
+// Entry is one expression Ei = (G, access permissions).
+type Entry struct {
+	Group string
+	Perms []Permission
+}
+
+// Valid reports whether the entry is well-formed.
+func (e Entry) Valid() bool {
+	if e.Group == "" || len(e.Perms) == 0 {
+		return false
+	}
+	for _, p := range e.Perms {
+		if p == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Grants reports whether the entry grants the permission.
+func (e Entry) Grants(p Permission) bool {
+	for _, q := range e.Perms {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders "(G, perms...)".
+func (e Entry) String() string {
+	ps := make([]string, len(e.Perms))
+	for i, p := range e.Perms {
+		ps[i] = string(p)
+	}
+	sort.Strings(ps)
+	return fmt.Sprintf("(%s, %s)", e.Group, strings.Join(ps, "|"))
+}
+
+// ACL is the disjunction of entries attached to one object.
+type ACL struct {
+	entries []Entry
+}
+
+// NewACL builds an ACL from entries, rejecting malformed ones.
+func NewACL(entries ...Entry) (*ACL, error) {
+	a := &ACL{entries: make([]Entry, 0, len(entries))}
+	for _, e := range entries {
+		if !e.Valid() {
+			return nil, fmt.Errorf("%w: %v", ErrBadEntry, e)
+		}
+		a.entries = append(a.entries, cloneEntry(e))
+	}
+	return a, nil
+}
+
+func cloneEntry(e Entry) Entry {
+	ps := make([]Permission, len(e.Perms))
+	copy(ps, e.Perms)
+	return Entry{Group: e.Group, Perms: ps}
+}
+
+// Allows implements Step 4 of the authorization protocol: access is
+// approved iff some expression (G, perm) ∈ ACL_O matches.
+func (a *ACL) Allows(group string, p Permission) bool {
+	for _, e := range a.entries {
+		if e.Group == group && e.Grants(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns a deep copy of the expressions.
+func (a *ACL) Entries() []Entry {
+	out := make([]Entry, len(a.entries))
+	for i, e := range a.entries {
+		out[i] = cloneEntry(e)
+	}
+	return out
+}
+
+// Groups returns the distinct group names on the ACL, sorted.
+func (a *ACL) Groups() []string {
+	set := make(map[string]bool, len(a.entries))
+	for _, e := range a.entries {
+		set[e.Group] = true
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "{E0, E1, ...}".
+func (a *ACL) String() string {
+	parts := make([]string, len(a.entries))
+	for i, e := range a.entries {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Version is one recorded state of a policy object.
+type Version struct {
+	Seq     int
+	At      clock.Time
+	ACL     *ACL
+	Content []byte
+	// ChangedBy records the group whose authority performed the change
+	// (e.g. G_policy for ACL updates) — the audit trail of joint
+	// administration.
+	ChangedBy string
+}
+
+// Object is a coalition resource with its policy object (ACL), content,
+// and version history.
+type Object struct {
+	Name    string
+	current Version
+	history []Version
+}
+
+// Store holds the coalition server's objects. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string]*Object
+	clk     *clock.Clock
+}
+
+// NewStore returns an empty object store stamped by the given clock.
+func NewStore(clk *clock.Clock) *Store {
+	return &Store{objects: make(map[string]*Object), clk: clk}
+}
+
+// Create installs a new object with its initial ACL and content.
+func (s *Store) Create(name string, a *ACL, content []byte, by string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; ok {
+		return fmt.Errorf("acl: object %q already exists", name)
+	}
+	v := Version{Seq: 1, At: s.clk.Now(), ACL: a, Content: cloneBytes(content), ChangedBy: by}
+	s.objects[name] = &Object{Name: name, current: v, history: []Version{v}}
+	return nil
+}
+
+// ACLOf returns the current ACL of the named object.
+func (s *Store) ACLOf(name string) (*ACL, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoObject)
+	}
+	return o.current.ACL, nil
+}
+
+// Read returns the object content (Step 4 already approved by the caller).
+func (s *Store) Read(name string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoObject)
+	}
+	return cloneBytes(o.current.Content), nil
+}
+
+// Write replaces the object content, recording a new version attributed to
+// the authorizing group.
+func (s *Store) Write(name string, content []byte, by string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrNoObject)
+	}
+	v := Version{
+		Seq:       o.current.Seq + 1,
+		At:        s.clk.Now(),
+		ACL:       o.current.ACL,
+		Content:   cloneBytes(content),
+		ChangedBy: by,
+	}
+	o.current = v
+	o.history = append(o.history, v)
+	return nil
+}
+
+// SetACL replaces the object's policy object (ACL), recording a version.
+// This is the "setting and updating of policy objects" operation that
+// joint administration mediates.
+func (s *Store) SetACL(name string, a *ACL, by string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrNoObject)
+	}
+	v := Version{
+		Seq:       o.current.Seq + 1,
+		At:        s.clk.Now(),
+		ACL:       a,
+		Content:   cloneBytes(o.current.Content),
+		ChangedBy: by,
+	}
+	o.current = v
+	o.history = append(o.history, v)
+	return nil
+}
+
+// History returns the version history of the object, oldest first.
+func (s *Store) History(name string) ([]Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoObject)
+	}
+	out := make([]Version, len(o.history))
+	copy(out, o.history)
+	return out, nil
+}
+
+// Names returns all object names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

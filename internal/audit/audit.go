@@ -1,0 +1,119 @@
+// Package audit provides the append-only decision log of Section 2: some
+// coalitions jointly own "auditing applications that are used to ensure
+// that all domains are adhering to predefined access policies". Every
+// authorization decision is recorded together with its full proof trace,
+// so an auditor can re-check the derivation that justified each approval
+// and see exactly why denials happened.
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"jointadmin/internal/clock"
+)
+
+// Outcome classifies a decision.
+type Outcome int
+
+// Decision outcomes.
+const (
+	Approved Outcome = iota + 1
+	Denied
+	RevocationRecorded
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Approved:
+		return "APPROVED"
+	case Denied:
+		return "DENIED"
+	case RevocationRecorded:
+		return "REVOCATION"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Entry is one audited decision.
+type Entry struct {
+	Seq       int
+	At        clock.Time
+	Outcome   Outcome
+	Server    string
+	Requestor string
+	Operation string
+	Object    string
+	Group     string
+	Reason    string
+	// ProofTrace is the rendered derivation that justified the decision.
+	ProofTrace string
+}
+
+// String renders a one-line summary.
+func (e Entry) String() string {
+	return fmt.Sprintf("#%d %s %s: %s %q on %q via %s (%s)",
+		e.Seq, e.At, e.Outcome, e.Requestor, e.Operation, e.Object, e.Group, e.Reason)
+}
+
+// Log is a thread-safe append-only audit log.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Record appends an entry, assigning its sequence number.
+func (l *Log) Record(e Entry) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.entries) + 1
+	l.entries = append(l.entries, e)
+	return e.Seq
+}
+
+// Entries returns a copy of all entries, oldest first.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// ByOutcome returns the entries with the given outcome.
+func (l *Log) ByOutcome(o Outcome) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.Outcome == o {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render formats the full log for human review.
+func (l *Log) Render() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b strings.Builder
+	for _, e := range l.entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

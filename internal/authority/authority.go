@@ -1,0 +1,444 @@
+// Package authority implements the authorities of Figure 1: per-domain
+// identity CAs, the joint coalition Attribute Authority (AA) in both of
+// the paper's designs — Case I (conventional key in a lock box) and Case
+// II (shared key with distributed private key shares) — and the revocation
+// authority RA.
+//
+// Requirement III (consensus) is enforced structurally in Case II: issuing
+// a threshold attribute certificate *is* running the joint signature
+// protocol, and each domain's partial signature is produced only after its
+// local approval hook consents. A domain that is down or refuses blocks
+// issuance (n-of-n), or merely reduces the quorum (m-of-n, Section 3.3).
+package authority
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+)
+
+// Sentinel errors.
+var (
+	// ErrConsentWithheld indicates a domain refused to co-sign.
+	ErrConsentWithheld = errors.New("authority: domain withheld consent")
+	// ErrDomainDown indicates a domain is unavailable for co-signing.
+	ErrDomainDown = errors.New("authority: domain down")
+	// ErrUnknownUser indicates an identity request for an unregistered user.
+	ErrUnknownUser = errors.New("authority: unknown user")
+)
+
+// DomainCA is one autonomous domain's identity certificate authority:
+// "each autonomous domain will typically have its own identity certificate
+// authority for distributing and revoking identity certificates to users
+// registered in that domain" (Requirement I discussion).
+type DomainCA struct {
+	name string
+	key  *pki.KeyPair
+	clk  *clock.Clock
+
+	mu    sync.Mutex
+	users map[string]sharedrsa.PublicKey
+}
+
+// NewDomainCA creates a CA with a fresh conventional key pair.
+func NewDomainCA(name string, bits int, clk *clock.Clock) (*DomainCA, error) {
+	kp, err := pki.GenerateKeyPair(bits, nil)
+	if err != nil {
+		return nil, fmt.Errorf("authority: CA %s keygen: %w", name, err)
+	}
+	return &DomainCA{name: name, key: kp, clk: clk, users: make(map[string]sharedrsa.PublicKey)}, nil
+}
+
+// Name returns the CA's name.
+func (ca *DomainCA) Name() string { return ca.name }
+
+// Public returns the CA's verification key.
+func (ca *DomainCA) Public() sharedrsa.PublicKey { return ca.key.Public() }
+
+// Register enrolls a user with its public key (the domain's registration
+// policy is out of scope; enrollment is the precondition for issuance).
+func (ca *DomainCA) Register(user string, pk sharedrsa.PublicKey) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.users[user] = pk
+}
+
+// IssueIdentity issues an identity certificate for a registered user.
+func (ca *DomainCA) IssueIdentity(user string, validity clock.Interval) (pki.Signed[pki.Identity], error) {
+	ca.mu.Lock()
+	upk, ok := ca.users[user]
+	ca.mu.Unlock()
+	if !ok {
+		return pki.Signed[pki.Identity]{}, fmt.Errorf("%s at %s: %w", user, ca.name, ErrUnknownUser)
+	}
+	body := pki.Identity{
+		Issuer:     ca.name,
+		IssuedAt:   ca.clk.Now(),
+		Subject:    user,
+		SubjectKey: pki.NewKeyInfo(upk),
+		KeyID:      upk.KeyID(),
+		NotBefore:  validity.Begin,
+		NotAfter:   validity.End,
+	}
+	return pki.IssueIdentity(body, ca.key.AsSigner())
+}
+
+// RevokeIdentity issues an identity revocation certificate withdrawing a
+// registered user's key binding, effective at the given time.
+func (ca *DomainCA) RevokeIdentity(user string, effective clock.Time) (pki.Signed[pki.IdentityRevocation], error) {
+	ca.mu.Lock()
+	upk, ok := ca.users[user]
+	ca.mu.Unlock()
+	if !ok {
+		return pki.Signed[pki.IdentityRevocation]{}, fmt.Errorf("%s at %s: %w", user, ca.name, ErrUnknownUser)
+	}
+	body := pki.IdentityRevocation{
+		Issuer:      ca.name,
+		IssuedAt:    ca.clk.Now(),
+		Subject:     user,
+		KeyID:       upk.KeyID(),
+		EffectiveAt: effective,
+	}
+	return pki.IssueIdentityRevocation(body, ca.key.AsSigner())
+}
+
+// DomainAgent is one member domain's participation in the coalition AA:
+// it holds the domain's private key share and consults the domain's
+// approval policy before co-signing anything.
+type DomainAgent struct {
+	Name string
+
+	mu      sync.Mutex
+	share   sharedrsa.Share
+	approve func(payload []byte) error
+	down    bool
+}
+
+// NewDomainAgent wraps a domain's share. approve may be nil (approve all).
+func NewDomainAgent(name string, share sharedrsa.Share, approve func([]byte) error) *DomainAgent {
+	return &DomainAgent{Name: name, share: share.Clone(), approve: approve}
+}
+
+// SetDown injects or clears a failure (experiment E3).
+func (d *DomainAgent) SetDown(down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = down
+}
+
+// Down reports the failure state.
+func (d *DomainAgent) Down() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+// Consents reports whether the domain is up and its policy approves the
+// payload, without computing a signature.
+func (d *DomainAgent) Consents(payload []byte) error {
+	d.mu.Lock()
+	down, approve := d.down, d.approve
+	d.mu.Unlock()
+	if down {
+		return fmt.Errorf("%s: %w", d.Name, ErrDomainDown)
+	}
+	if approve != nil {
+		if err := approve(payload); err != nil {
+			return fmt.Errorf("%s: %w: %v", d.Name, ErrConsentWithheld, err)
+		}
+	}
+	return nil
+}
+
+// CoSign produces the domain's partial signature over the payload after
+// consulting its approval policy.
+func (d *DomainAgent) CoSign(payload []byte, pk sharedrsa.PublicKey) (sharedrsa.PartialSignature, error) {
+	d.mu.Lock()
+	down, approve, share := d.down, d.approve, d.share
+	d.mu.Unlock()
+	if down {
+		return sharedrsa.PartialSignature{}, fmt.Errorf("%s: %w", d.Name, ErrDomainDown)
+	}
+	if approve != nil {
+		if err := approve(payload); err != nil {
+			return sharedrsa.PartialSignature{}, fmt.Errorf("%s: %w: %v", d.Name, ErrConsentWithheld, err)
+		}
+	}
+	return sharedrsa.PartialSign(payload, pk, share)
+}
+
+// Share exposes the domain's share for re-keying flows (coalition
+// dynamics); a deployment would keep it sealed inside the domain.
+func (d *DomainAgent) Share() sharedrsa.Share {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.share.Clone()
+}
+
+// consensusSigner is a pki.Signer that implements Case II issuance: every
+// domain must co-sign (n-of-n). It is the cryptographic embodiment of
+// Requirement III.
+type consensusSigner struct {
+	pk      sharedrsa.PublicKey
+	domains []*DomainAgent
+}
+
+var _ pki.Signer = (*consensusSigner)(nil)
+
+func (c *consensusSigner) Public() sharedrsa.PublicKey { return c.pk }
+
+func (c *consensusSigner) Sign(payload []byte) (sharedrsa.Signature, error) {
+	partials := make([]sharedrsa.PartialSignature, 0, len(c.domains))
+	for _, d := range c.domains {
+		p, err := d.CoSign(payload, c.pk)
+		if err != nil {
+			return sharedrsa.Signature{}, err
+		}
+		partials = append(partials, p)
+	}
+	return sharedrsa.Combine(payload, c.pk, partials, len(c.domains))
+}
+
+// CoalitionAA is the joint coalition attribute authority (Case II): its
+// public key is shared, its private key exists only as the member
+// domains' shares.
+type CoalitionAA struct {
+	name    string
+	pk      sharedrsa.PublicKey
+	domains []*DomainAgent
+	clk     *clock.Clock
+
+	mu        sync.Mutex
+	threshold *sharedrsa.ThresholdShares // non-nil after EnableThreshold
+	quorumM   int
+}
+
+// EstablishResult bundles the outcome of coalition AA establishment.
+type EstablishResult struct {
+	AA      *CoalitionAA
+	Domains []*DomainAgent
+	// Keygen carries the distributed keygen diagnostics (attempt counts,
+	// transcript) for experiments.
+	Keygen *sharedrsa.Result
+}
+
+// Establish runs the distributed shared-key generation among the named
+// domains and returns the coalition AA. No trusted dealer is involved
+// (Requirement II).
+func Establish(name string, domainNames []string, bits int, clk *clock.Clock) (*EstablishResult, error) {
+	res, err := sharedrsa.GenerateShared(sharedrsa.Config{Parties: len(domainNames), Bits: bits})
+	if err != nil {
+		return nil, fmt.Errorf("authority: establish %s: %w", name, err)
+	}
+	return assemble(name, domainNames, res.Public, res.Shares, clk, res)
+}
+
+// EstablishWithDealer builds the AA from a trusted-dealer split — the fast
+// path for tests and the Case II arm of benchmarks that are not measuring
+// keygen itself. The paper's trust argument does not hold for this path;
+// it exists for experimentation only.
+func EstablishWithDealer(name string, domainNames []string, bits int, clk *clock.Clock) (*EstablishResult, error) {
+	res, err := sharedrsa.DealerSplit(bits, len(domainNames), nil)
+	if err != nil {
+		return nil, fmt.Errorf("authority: establish %s (dealer): %w", name, err)
+	}
+	return assemble(name, domainNames, res.Public, res.Shares, clk, nil)
+}
+
+func assemble(name string, domainNames []string, pk sharedrsa.PublicKey, shares []sharedrsa.Share, clk *clock.Clock, kg *sharedrsa.Result) (*EstablishResult, error) {
+	if len(domainNames) != len(shares) {
+		return nil, fmt.Errorf("authority: %d domains but %d shares", len(domainNames), len(shares))
+	}
+	domains := make([]*DomainAgent, len(domainNames))
+	for i, dn := range domainNames {
+		domains[i] = NewDomainAgent(dn, shares[i], nil)
+	}
+	aa := &CoalitionAA{name: name, pk: pk, domains: domains, clk: clk}
+	return &EstablishResult{AA: aa, Domains: domains, Keygen: kg}, nil
+}
+
+// Name returns the AA's name.
+func (aa *CoalitionAA) Name() string { return aa.name }
+
+// Public returns the shared public key KAA.
+func (aa *CoalitionAA) Public() sharedrsa.PublicKey { return aa.pk }
+
+// Domains returns the member domain agents.
+func (aa *CoalitionAA) Domains() []*DomainAgent {
+	out := make([]*DomainAgent, len(aa.domains))
+	copy(out, aa.domains)
+	return out
+}
+
+// EnableThreshold reshapes the n-of-n sharing into m-of-n (Section 3.3),
+// trading strict consensus for availability: afterwards issuance succeeds
+// whenever at least m domains are up and consenting.
+func (aa *CoalitionAA) EnableThreshold(m int) error {
+	shares := make([]sharedrsa.Share, len(aa.domains))
+	for i, d := range aa.domains {
+		shares[i] = d.Share()
+	}
+	ts, err := sharedrsa.Reshare(aa.pk, shares, m, nil)
+	if err != nil {
+		return fmt.Errorf("authority: enable threshold: %w", err)
+	}
+	aa.mu.Lock()
+	defer aa.mu.Unlock()
+	aa.threshold = ts
+	aa.quorumM = m
+	return nil
+}
+
+// signer picks the issuance path: strict n-of-n consensus, or m-of-n
+// quorum over the currently available, consenting domains.
+func (aa *CoalitionAA) signer(payload []byte) (pki.Signer, error) {
+	aa.mu.Lock()
+	ts, m := aa.threshold, aa.quorumM
+	aa.mu.Unlock()
+	if ts == nil {
+		return &consensusSigner{pk: aa.pk, domains: aa.domains}, nil
+	}
+	var quorum []int
+	for i, d := range aa.domains {
+		// A down or refusing domain does not join the quorum.
+		if err := d.Consents(payload); err != nil {
+			continue
+		}
+		quorum = append(quorum, i+1)
+		if len(quorum) == m {
+			break
+		}
+	}
+	if len(quorum) < m {
+		return nil, fmt.Errorf("authority: %d domains available, need %d: %w",
+			len(quorum), m, sharedrsa.ErrQuorum)
+	}
+	return pki.NewThresholdSigner(ts, quorum), nil
+}
+
+// IssueThreshold issues a threshold attribute certificate for a group,
+// jointly signed under the coalition key.
+func (aa *CoalitionAA) IssueThreshold(group string, m int, subjects []pki.BoundSubject, validity clock.Interval) (pki.Signed[pki.ThresholdAttribute], error) {
+	body := pki.ThresholdAttribute{
+		Issuer:    aa.name,
+		IssuedAt:  aa.clk.Now(),
+		Group:     group,
+		M:         m,
+		Subjects:  subjects,
+		NotBefore: validity.Begin,
+		NotAfter:  validity.End,
+	}
+	s, err := aa.signerForBody(body)
+	if err != nil {
+		return pki.Signed[pki.ThresholdAttribute]{}, err
+	}
+	return pki.IssueThresholdAttribute(body, s)
+}
+
+// signerForBody reconstructs the canonical payload for approval checks.
+func (aa *CoalitionAA) signerForBody(body pki.ThresholdAttribute) (pki.Signer, error) {
+	sc, err := pki.IssueThresholdAttribute(body, unsignedProbe{pk: aa.pk})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := pki.Marshal(sc)
+	if err != nil {
+		return nil, err
+	}
+	return aa.signer(payload)
+}
+
+// IssueAttribute issues a single-subject attribute certificate under the
+// same consensus rules.
+func (aa *CoalitionAA) IssueAttribute(group string, subject pki.BoundSubject, validity clock.Interval) (pki.Signed[pki.Attribute], error) {
+	body := pki.Attribute{
+		Issuer:    aa.name,
+		IssuedAt:  aa.clk.Now(),
+		Group:     group,
+		Subject:   subject,
+		NotBefore: validity.Begin,
+		NotAfter:  validity.End,
+	}
+	probe, err := pki.IssueAttribute(body, unsignedProbe{pk: aa.pk})
+	if err != nil {
+		return pki.Signed[pki.Attribute]{}, err
+	}
+	payload, err := pki.Marshal(probe)
+	if err != nil {
+		return pki.Signed[pki.Attribute]{}, err
+	}
+	s, err := aa.signer(payload)
+	if err != nil {
+		return pki.Signed[pki.Attribute]{}, err
+	}
+	return pki.IssueAttribute(body, s)
+}
+
+// IssueGroupLink issues a privilege-inheritance certificate under the same
+// consensus rules: members of sub inherit sup's privileges.
+func (aa *CoalitionAA) IssueGroupLink(sub, sup string, validity clock.Interval) (pki.Signed[pki.GroupLink], error) {
+	body := pki.GroupLink{
+		Issuer:    aa.name,
+		IssuedAt:  aa.clk.Now(),
+		Sub:       sub,
+		Sup:       sup,
+		NotBefore: validity.Begin,
+		NotAfter:  validity.End,
+	}
+	probe, err := pki.IssueGroupLink(body, unsignedProbe{pk: aa.pk})
+	if err != nil {
+		return pki.Signed[pki.GroupLink]{}, err
+	}
+	payload, err := pki.Marshal(probe)
+	if err != nil {
+		return pki.Signed[pki.GroupLink]{}, err
+	}
+	s, err := aa.signer(payload)
+	if err != nil {
+		return pki.Signed[pki.GroupLink]{}, err
+	}
+	return pki.IssueGroupLink(body, s)
+}
+
+// RevokeThreshold issues a revocation certificate for a previously issued
+// threshold attribute certificate, under the same consensus rules.
+func (aa *CoalitionAA) RevokeThreshold(cert pki.Signed[pki.ThresholdAttribute], effective clock.Time) (pki.Signed[pki.Revocation], error) {
+	body := pki.Revocation{
+		Issuer:      aa.name,
+		IssuedAt:    aa.clk.Now(),
+		Group:       cert.Cert.Group,
+		M:           cert.Cert.M,
+		Subjects:    cert.Cert.Subjects,
+		EffectiveAt: effective,
+	}
+	probe, err := pki.IssueRevocation(body, unsignedProbe{pk: aa.pk})
+	if err != nil {
+		return pki.Signed[pki.Revocation]{}, err
+	}
+	payload, err := pki.Marshal(probe)
+	if err != nil {
+		return pki.Signed[pki.Revocation]{}, err
+	}
+	s, err := aa.signer(payload)
+	if err != nil {
+		return pki.Signed[pki.Revocation]{}, err
+	}
+	return pki.IssueRevocation(body, s)
+}
+
+// unsignedProbe produces a zero signature; used only to materialize the
+// canonical payload a real signer will sign.
+type unsignedProbe struct{ pk sharedrsa.PublicKey }
+
+var _ pki.Signer = unsignedProbe{}
+
+func (u unsignedProbe) Public() sharedrsa.PublicKey { return u.pk }
+
+func (u unsignedProbe) Sign([]byte) (sharedrsa.Signature, error) {
+	return sharedrsa.Signature{S: big.NewInt(1)}, nil
+}

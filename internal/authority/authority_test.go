@@ -1,0 +1,271 @@
+package authority
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+)
+
+// testEstablish caches one dealer-established AA for the suite.
+var (
+	estOnce sync.Once
+	estRes  *EstablishResult
+	estErr  error
+)
+
+func establishAA(t *testing.T) *EstablishResult {
+	t.Helper()
+	estOnce.Do(func() {
+		estRes, estErr = EstablishWithDealer("AA", []string{"D1", "D2", "D3"}, 512, clock.New(100))
+	})
+	if estErr != nil {
+		t.Fatal(estErr)
+	}
+	return estRes
+}
+
+func subjects() []pki.BoundSubject {
+	return []pki.BoundSubject{
+		{Name: "User_D1", KeyID: "k1"},
+		{Name: "User_D2", KeyID: "k2"},
+		{Name: "User_D3", KeyID: "k3"},
+	}
+}
+
+func TestDomainCAIssueIdentity(t *testing.T) {
+	clk := clock.New(50)
+	ca, err := NewDomainCA("CA1", 512, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := pki.GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered user: refused.
+	if _, err := ca.IssueIdentity("User_D1", clock.NewInterval(0, 1000)); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unregistered: %v", err)
+	}
+	ca.Register("User_D1", user.Public())
+	sc, err := ca.IssueIdentity("User_D1", clock.NewInterval(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cert.Issuer != "CA1" || sc.Cert.KeyID != user.KeyID() || sc.Cert.IssuedAt != 50 {
+		t.Errorf("cert = %+v", sc.Cert)
+	}
+	if err := pki.VerifyIdentity(sc, ca.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseIIConsensusIssuance(t *testing.T) {
+	est := establishAA(t)
+	cert, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, est.AA.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Cert.M != 2 || len(cert.Cert.Subjects) != 3 {
+		t.Errorf("cert = %+v", cert.Cert)
+	}
+}
+
+func TestCaseIIDomainDownBlocksIssuance(t *testing.T) {
+	// n-of-n: one domain down ⇒ no certificate can be issued. This is the
+	// structural enforcement of Requirement III.
+	est, err := EstablishWithDealer("AA", []string{"D1", "D2", "D3"}, 512, clock.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Domains[1].SetDown(true)
+	if _, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); !errors.Is(err, ErrDomainDown) {
+		t.Fatalf("issuance with a down domain: %v", err)
+	}
+	est.Domains[1].SetDown(false)
+	if _, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); err != nil {
+		t.Fatalf("issuance after recovery: %v", err)
+	}
+}
+
+func TestCaseIIConsentWithheld(t *testing.T) {
+	res, err := sharedrsa.DealerSplit(512, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veto := errors.New("against domain policy")
+	domains := []*DomainAgent{
+		NewDomainAgent("D1", res.Shares[0], nil),
+		NewDomainAgent("D2", res.Shares[1], func([]byte) error { return veto }),
+		NewDomainAgent("D3", res.Shares[2], nil),
+	}
+	aa := &CoalitionAA{name: "AA", pk: res.Public, domains: domains, clk: clock.New(100)}
+	if _, err := aa.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); !errors.Is(err, ErrConsentWithheld) {
+		t.Fatalf("issuance over a veto: %v", err)
+	}
+}
+
+func TestCaseIIThresholdModeAvailability(t *testing.T) {
+	// Section 3.3: with 2-of-3 sharing, one down domain no longer blocks.
+	est, err := EstablishWithDealer("AA", []string{"D1", "D2", "D3"}, 512, clock.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.AA.EnableThreshold(2); err != nil {
+		t.Fatal(err)
+	}
+	est.Domains[2].SetDown(true)
+	cert, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatalf("2-of-3 issuance with one down domain: %v", err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, est.AA.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Two down domains exceed the tolerance.
+	est.Domains[1].SetDown(true)
+	if _, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); !errors.Is(err, sharedrsa.ErrQuorum) {
+		t.Fatalf("1-of-3 availability: %v", err)
+	}
+}
+
+func TestIssueAttributeSingleSubject(t *testing.T) {
+	est := establishAA(t)
+	cert, err := est.AA.IssueAttribute("G_read", pki.BoundSubject{Name: "User_D3", KeyID: "k3"}, clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyAttribute(cert, est.AA.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeThresholdByAA(t *testing.T) {
+	est := establishAA(t)
+	cert, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := est.AA.RevokeThreshold(cert, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyRevocation(rev, est.AA.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if rev.Cert.Group != "G_write" || rev.Cert.EffectiveAt != 200 {
+		t.Errorf("revocation = %+v", rev.Cert)
+	}
+}
+
+func TestRevocationAuthority(t *testing.T) {
+	est := establishAA(t)
+	ra, err := NewRA("RA", 512, clock.New(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := ra.Revoke(cert, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyRevocation(rev, ra.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if rev.Cert.Issuer != "RA" {
+		t.Errorf("issuer = %s", rev.Cert.Issuer)
+	}
+}
+
+func TestCaseILockBoxAA(t *testing.T) {
+	clk := clock.New(100)
+	pws := []string{"pw1", "pw2", "pw3"}
+	aa, err := EstablishCaseI("AA", pws, 512, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All passwords: issuance succeeds.
+	cert, err := aa.IssueThreshold(pws, "G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, aa.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Missing a password: refused.
+	if _, err := aa.IssueThreshold(pws[:2], "G_write", 2, subjects(), clock.NewInterval(50, 5000)); err == nil {
+		t.Fatal("issuance without all passwords")
+	}
+	// Compromise: the attacker forges a certificate that verifies — the
+	// Case I trust liability (E4).
+	evil := aa.Compromise()
+	if !aa.Compromised() {
+		t.Fatal("compromise not recorded")
+	}
+	forged, err := pki.IssueThresholdAttribute(pki.ThresholdAttribute{
+		Issuer: "AA", IssuedAt: clk.Now(), Group: "G_write", M: 1,
+		Subjects:  []pki.BoundSubject{{Name: "Mallory", KeyID: "km"}},
+		NotBefore: 0, NotAfter: 9999,
+	}, evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(forged, aa.Public(), 100); err != nil {
+		t.Fatal("forged certificate failed to verify — Case I liability not demonstrated")
+	}
+}
+
+func TestCaseIIForgeryRequiresAllDomains(t *testing.T) {
+	// The Case II contrast for E4: compromising any proper subset of
+	// domains (stealing their shares) does not let the attacker sign.
+	est := establishAA(t)
+	payload := []byte("forged certificate payload")
+	var partials []sharedrsa.PartialSignature
+	for _, d := range est.Domains[:2] { // attacker got 2 of 3 shares
+		p, err := d.CoSign(payload, est.AA.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	if _, err := sharedrsa.Combine(payload, est.AA.Public(), partials, 3); !errors.Is(err, sharedrsa.ErrBadSignature) {
+		t.Fatalf("2-of-3 domain compromise forged a signature: %v", err)
+	}
+}
+
+func TestEstablishDistributedSmall(t *testing.T) {
+	// End-to-end establishment with the real Boneh–Franklin protocol at a
+	// test-friendly size.
+	est, err := Establish("AA", []string{"D1", "D2", "D3"}, 128, clock.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Keygen == nil || est.Keygen.Attempts == 0 {
+		t.Error("keygen diagnostics missing")
+	}
+	cert, err := est.AA.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, est.AA.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstablishValidation(t *testing.T) {
+	if _, err := Establish("AA", []string{"D1"}, 128, clock.New(0)); err == nil {
+		t.Error("single-domain establishment accepted")
+	}
+	if _, err := assemble("AA", []string{"D1", "D2"}, sharedrsa.PublicKey{}, nil, clock.New(0), nil); err == nil {
+		t.Error("mismatched shares accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package authority
+
+import (
+	"fmt"
+	"time"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/jointsig"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+// NetworkedAA is the coalition attribute authority with its member domains
+// deployed as network services: certificate issuance runs the Section 3.2
+// joint signature protocol over the transport, so a domain that is
+// unreachable or whose policy refuses the payload blocks issuance exactly
+// as in the in-process CoalitionAA (n-of-n consensus).
+type NetworkedAA struct {
+	name      string
+	pk        sharedrsa.PublicKey
+	requestor *jointsig.Requestor
+	cosigners []*jointsig.Cosigner
+	clk       *clock.Clock
+	timeout   time.Duration
+	parties   int
+}
+
+// EstablishNetworked generates the shared key and deploys one co-signer
+// service per member domain on the given endpoints; endpoints[0] is the
+// requestor domain (it holds its own share locally). approve may be nil or
+// shorter than the domain list; missing entries approve everything.
+//
+// The returned AA owns the co-signer goroutines; call Close to stop them.
+func EstablishNetworked(name string, endpoints []transport.Endpoint, bits int, clk *clock.Clock, approve []func([]byte) error) (*NetworkedAA, error) {
+	n := len(endpoints)
+	if n < 2 {
+		return nil, sharedrsa.ErrTooFewParties
+	}
+	res, err := sharedrsa.GenerateShared(sharedrsa.Config{Parties: n, Bits: bits})
+	if err != nil {
+		return nil, fmt.Errorf("authority: establish %s (networked): %w", name, err)
+	}
+	return AssembleNetworked(name, endpoints, res.Public, res.Shares, clk, approve)
+}
+
+// AssembleNetworked wires a networked AA over existing key material (e.g.
+// a dealer split in tests, or shares surviving a restart).
+func AssembleNetworked(name string, endpoints []transport.Endpoint, pk sharedrsa.PublicKey, shares []sharedrsa.Share, clk *clock.Clock, approve []func([]byte) error) (*NetworkedAA, error) {
+	n := len(endpoints)
+	if len(shares) != n {
+		return nil, fmt.Errorf("authority: %d endpoints but %d shares", n, len(shares))
+	}
+	hook := func(i int) func([]byte) error {
+		if i < len(approve) {
+			return approve[i]
+		}
+		return nil
+	}
+	aa := &NetworkedAA{
+		name:    name,
+		pk:      pk,
+		clk:     clk,
+		timeout: 5 * time.Second,
+		parties: n,
+	}
+	peers := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		aa.cosigners = append(aa.cosigners,
+			jointsig.NewCosigner(endpoints[i], pk, shares[i], hook(i)))
+		peers = append(peers, endpoints[i].Name())
+	}
+	aa.requestor = jointsig.NewRequestor(endpoints[0], pk, shares[0], peers)
+	return aa, nil
+}
+
+// Close stops the co-signer services.
+func (aa *NetworkedAA) Close() {
+	for _, c := range aa.cosigners {
+		c.Close()
+	}
+}
+
+// Name returns the AA's name.
+func (aa *NetworkedAA) Name() string { return aa.name }
+
+// Public returns the shared public key.
+func (aa *NetworkedAA) Public() sharedrsa.PublicKey { return aa.pk }
+
+// SetTimeout bounds each signing round.
+func (aa *NetworkedAA) SetTimeout(d time.Duration) { aa.timeout = d }
+
+// networkSigner adapts the requestor to pki.Signer.
+type networkSigner struct{ aa *NetworkedAA }
+
+var _ pki.Signer = networkSigner{}
+
+func (s networkSigner) Public() sharedrsa.PublicKey { return s.aa.pk }
+
+func (s networkSigner) Sign(msg []byte) (sharedrsa.Signature, error) {
+	return s.aa.requestor.Sign(msg, jointsig.Options{
+		Need:         s.aa.parties,
+		Timeout:      s.aa.timeout,
+		TotalParties: s.aa.parties,
+	})
+}
+
+// IssueThreshold issues a threshold attribute certificate by running the
+// joint signature protocol across the member domains.
+func (aa *NetworkedAA) IssueThreshold(group string, m int, subjects []pki.BoundSubject, validity clock.Interval) (pki.Signed[pki.ThresholdAttribute], error) {
+	body := pki.ThresholdAttribute{
+		Issuer:    aa.name,
+		IssuedAt:  aa.clk.Now(),
+		Group:     group,
+		M:         m,
+		Subjects:  subjects,
+		NotBefore: validity.Begin,
+		NotAfter:  validity.End,
+	}
+	return pki.IssueThresholdAttribute(body, networkSigner{aa: aa})
+}
+
+// RevokeThreshold issues a revocation certificate under the same
+// networked consensus.
+func (aa *NetworkedAA) RevokeThreshold(cert pki.Signed[pki.ThresholdAttribute], effective clock.Time) (pki.Signed[pki.Revocation], error) {
+	body := pki.Revocation{
+		Issuer:      aa.name,
+		IssuedAt:    aa.clk.Now(),
+		Group:       cert.Cert.Group,
+		M:           cert.Cert.M,
+		Subjects:    cert.Cert.Subjects,
+		EffectiveAt: effective,
+	}
+	return pki.IssueRevocation(body, networkSigner{aa: aa})
+}

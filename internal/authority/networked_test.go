@@ -1,0 +1,107 @@
+package authority
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/jointsig"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+func networkedAA(t *testing.T, net *transport.Memory, approve []func([]byte) error) *NetworkedAA {
+	t.Helper()
+	res, err := sharedrsa.DealerSplit(512, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := []transport.Endpoint{net.Endpoint("D1"), net.Endpoint("D2"), net.Endpoint("D3")}
+	aa, err := AssembleNetworked("AA", eps, res.Public, res.Shares, clock.New(100), approve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aa
+}
+
+func TestNetworkedIssuance(t *testing.T) {
+	net := transport.NewMemory(transport.Faults{})
+	defer net.Close()
+	aa := networkedAA(t, net, nil)
+	defer aa.Close()
+
+	cert, err := aa.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, aa.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation over the network too.
+	rev, err := aa.RevokeThreshold(cert, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyRevocation(rev, aa.Public()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkedIssuanceBlockedByDownDomain(t *testing.T) {
+	net := transport.NewMemory(transport.Faults{})
+	defer net.Close()
+	aa := networkedAA(t, net, nil)
+	defer aa.Close()
+	aa.SetTimeout(300 * time.Millisecond)
+
+	net.Fail("D3")
+	if _, err := aa.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); err == nil {
+		t.Fatal("issuance succeeded with a down domain (n-of-n consensus violated)")
+	}
+	net.Recover("D3")
+	if _, err := aa.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000)); err != nil {
+		t.Fatalf("issuance after recovery: %v", err)
+	}
+}
+
+func TestNetworkedIssuanceBlockedByVeto(t *testing.T) {
+	net := transport.NewMemory(transport.Faults{})
+	defer net.Close()
+	veto := errors.New("policy refuses")
+	aa := networkedAA(t, net, []func([]byte) error{
+		nil,                                // D1 (requestor) approves
+		nil,                                // D2 approves
+		func([]byte) error { return veto }, // D3 refuses everything
+	})
+	defer aa.Close()
+	aa.SetTimeout(300 * time.Millisecond)
+
+	_, err := aa.IssueThreshold("G_write", 2, subjects(), clock.NewInterval(50, 5000))
+	if !errors.Is(err, jointsig.ErrRefused) {
+		t.Fatalf("issuance over a veto: %v", err)
+	}
+}
+
+func TestNetworkedEstablishSmall(t *testing.T) {
+	// Full path with the real distributed keygen at test size.
+	net := transport.NewMemory(transport.Faults{})
+	defer net.Close()
+	eps := []transport.Endpoint{net.Endpoint("D1"), net.Endpoint("D2")}
+	aa, err := EstablishNetworked("AA", eps, 128, clock.New(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aa.Close()
+	cert, err := aa.IssueThreshold("G", 1, subjects()[:1], clock.NewInterval(50, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.VerifyThresholdAttribute(cert, aa.Public(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstablishNetworked("AA", eps[:1], 128, clock.New(0), nil); !errors.Is(err, sharedrsa.ErrTooFewParties) {
+		t.Errorf("single endpoint: %v", err)
+	}
+}

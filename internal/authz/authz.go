@@ -1,0 +1,598 @@
+// Package authz implements the coalition application server P and the
+// authorization protocol of Section 4.3 / Appendix E. Every access
+// decision runs in two coupled layers, kept in exact correspondence by
+// internal/pki's idealization:
+//
+//  1. cryptographic verification — real RSA-FDH signatures on the wire
+//     certificates and on the users' signed requests, and
+//  2. logical derivation — Steps 1–4 of the protocol executed in the
+//     access-control logic (internal/logic), producing the numbered
+//     statement chain of the paper and ending in "G says op O" plus the
+//     ACL check.
+//
+// A request is approved only if both layers succeed; the derivation trace
+// is recorded in the audit log.
+package authz
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"jointadmin/internal/acl"
+	"jointadmin/internal/audit"
+	"jointadmin/internal/clock"
+	"jointadmin/internal/logic"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+)
+
+// Sentinel errors.
+var (
+	// ErrDenied indicates the request failed a protocol step.
+	ErrDenied = errors.New("authz: access denied")
+	// ErrStale indicates a request timestamp outside the freshness window.
+	ErrStale = errors.New("authz: request not fresh")
+	// ErrMissingIdentity indicates a co-signer without an identity
+	// certificate in the request.
+	ErrMissingIdentity = errors.New("authz: co-signer identity certificate missing")
+)
+
+// TrustAnchors is the server's initial configuration: the beliefs of
+// Appendix E statements 1–11 in wire form.
+type TrustAnchors struct {
+	// AAName and AAKey identify the coalition attribute authority; Domains
+	// are the member domains holding shares of KAA⁻¹ (statement 1).
+	AAName  string
+	AAKey   sharedrsa.PublicKey
+	Domains []string
+	// CAKeys maps each domain CA's name to its verification key
+	// (statements 6–11).
+	CAKeys map[string]sharedrsa.PublicKey
+	// RAName and RAKey identify the revocation authority (Section 4.3).
+	RAName string
+	RAKey  sharedrsa.PublicKey
+	// TrustSince is t*, the time from which time-stamped certificates may
+	// be believed.
+	TrustSince clock.Time
+	// FreshnessWindow bounds |server time − request timestamp| (axiom A21
+	// applied as in Stubblebine–Wright). 0 disables the check.
+	FreshnessWindow int64
+}
+
+// UserRequest is one co-signer's signed request component (message 1-4).
+type UserRequest struct {
+	User    string         `json:"user"`
+	At      clock.Time     `json:"at"`
+	Op      acl.Permission `json:"op"`
+	Object  string         `json:"object"`
+	Payload []byte         `json:"payload,omitempty"` // write content / new ACL
+	SigS    string         `json:"sig"`               // hex FDH-RSA signature
+}
+
+// requestBody is the canonical signed payload of a UserRequest.
+func requestBody(r UserRequest) ([]byte, error) {
+	b, err := json.Marshal(struct {
+		User    string         `json:"user"`
+		At      clock.Time     `json:"at"`
+		Op      acl.Permission `json:"op"`
+		Object  string         `json:"object"`
+		Payload []byte         `json:"payload,omitempty"`
+	}{r.User, r.At, r.Op, r.Object, r.Payload})
+	if err != nil {
+		return nil, fmt.Errorf("authz: encode request: %w", err)
+	}
+	return b, nil
+}
+
+// SignRequest produces a signed request component for a user key pair.
+func SignRequest(user string, at clock.Time, op acl.Permission, object string, payload []byte, kp *pki.KeyPair) (UserRequest, error) {
+	r := UserRequest{User: user, At: at, Op: op, Object: object, Payload: payload}
+	body, err := requestBody(r)
+	if err != nil {
+		return UserRequest{}, err
+	}
+	sig := kp.Sign(body)
+	r.SigS = sig.S.Text(16)
+	return r, nil
+}
+
+// AccessRequest is a complete joint access request (Figure 2(b)): the
+// co-signers' identity certificates, an attribute certificate — threshold
+// (CP(m,n) ⇒ G, axiom A38) or single-subject (P|K ⇒ G, the selective
+// distribution of axiom A35) — and the signed request components. Exactly
+// one of Threshold/Single must be set; Single is set iff SingleSubject.
+type AccessRequest struct {
+	Identities []pki.Signed[pki.Identity]         `json:"identities"`
+	Threshold  pki.Signed[pki.ThresholdAttribute] `json:"threshold,omitempty"`
+	// SingleSubject selects the A35 path using Single.
+	SingleSubject bool                      `json:"singleSubject,omitempty"`
+	Single        pki.Signed[pki.Attribute] `json:"single,omitempty"`
+	Requests      []UserRequest             `json:"requests"`
+}
+
+// Decision is the outcome of the authorization protocol.
+type Decision struct {
+	Allowed bool
+	Group   string
+	Reason  string
+	// Proof is the derivation that justified the decision (nil on
+	// cryptographic rejection before any derivation started).
+	Proof *logic.Proof
+	// Data carries read results.
+	Data []byte
+}
+
+// Server is the coalition application server P of Figure 1.
+type Server struct {
+	name    string
+	clk     *clock.Clock
+	anchors TrustAnchors
+	objects *acl.Store
+	log     *audit.Log
+
+	mu  sync.Mutex
+	eng *logic.Engine
+}
+
+// NewServer configures a server with its trust anchors and object store.
+// The audit log may be nil.
+func NewServer(name string, clk *clock.Clock, anchors TrustAnchors, objects *acl.Store, log *audit.Log) *Server {
+	s := &Server{
+		name:    name,
+		clk:     clk,
+		anchors: anchors,
+		objects: objects,
+		log:     log,
+	}
+	s.eng = s.freshEngine()
+	return s
+}
+
+// freshEngine installs the initial beliefs (Appendix E statements 1–11).
+func (s *Server) freshEngine() *logic.Engine {
+	eng := logic.NewEngine(s.name, s.clk)
+	horizon := clock.Infinity
+	a := s.anchors
+
+	// Statement 1: KAA ⇒ [t*, t],P CP(n,n) over the member domains.
+	domains := make([]logic.Principal, len(a.Domains))
+	for i, d := range a.Domains {
+		domains[i] = logic.P(d)
+	}
+	cp := logic.CP(domains...).WithThreshold(len(domains))
+	aaKeyID := logic.KeyID(a.AAKey.KeyID())
+	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(s.name), Who: cp},
+		"statement 1: KAA ⇒ CP(n,n)")
+	// Reading convention of Section 4.3: "we say that AA signs messages
+	// with key KAA as well".
+	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(a.AAName)},
+		"AA speaks with the shared key (reading convention)")
+	// Statements 2–3: AA's jurisdiction over group membership.
+	eng.Assume(logic.MembershipJurisdiction{Authority: logic.P(a.AAName), AuthorityName: a.AAName},
+		"statements 2–3: AA controls membership")
+	// Statements 4–5: AA's jurisdiction over certificate accuracy times.
+	eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.AAName), Since: a.TrustSince, Server: s.name},
+		"statements 4–5: AA controls accuracy time")
+
+	// Statements 6–11: each CA's key and jurisdictions.
+	for ca, key := range a.CAKeys {
+		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(key.KeyID()), T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(ca)},
+			"K"+ca+" ⇒ "+ca)
+		eng.Assume(logic.KeyJurisdiction{CA: logic.P(ca)},
+			ca+" controls identity keys (statements 6–11)")
+		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(ca), Since: a.TrustSince, Server: s.name},
+			ca+" controls accuracy time")
+	}
+
+	// RA: authorized to provide revocation information on behalf of AA.
+	if a.RAName != "" {
+		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(a.RAKey.KeyID()), T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(a.RAName)},
+			"KRA ⇒ RA")
+		eng.Assume(logic.MembershipJurisdiction{Authority: logic.P(a.RAName), AuthorityName: a.RAName},
+			"RA provides revocation information on behalf of AA")
+		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.RAName), Since: a.TrustSince, Server: s.name},
+			"RA controls accuracy time")
+	}
+	return eng
+}
+
+// Engine exposes the server's derivation engine (for tests and the proof-
+// trace tool).
+func (s *Server) Engine() *logic.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+// Objects exposes the server's object store.
+func (s *Server) Objects() *acl.Store { return s.objects }
+
+// deny records and returns a denial.
+func (s *Server) deny(req *AccessRequest, group, reason string, proof *logic.Proof) (Decision, error) {
+	requestor := ""
+	var op acl.Permission
+	object := ""
+	if len(req.Requests) > 0 {
+		requestor = req.Requests[0].User
+		op = req.Requests[0].Op
+		object = req.Requests[0].Object
+	}
+	if s.log != nil {
+		trace := ""
+		if proof != nil {
+			trace = proof.String()
+		}
+		s.log.Record(audit.Entry{
+			At: s.clk.Now(), Outcome: audit.Denied, Server: s.name,
+			Requestor: requestor, Operation: string(op), Object: object,
+			Group: group, Reason: reason, ProofTrace: trace,
+		})
+	}
+	return Decision{Allowed: false, Group: group, Reason: reason, Proof: proof},
+		fmt.Errorf("%w: %s", ErrDenied, reason)
+}
+
+// Authorize runs the full authorization protocol on a joint access request
+// and, if approved, performs the operation on the object store.
+func (s *Server) Authorize(req AccessRequest) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eng := s.eng
+	now := s.clk.Now()
+
+	if len(req.Requests) == 0 {
+		return s.deny(&req, "", "no signed request components", nil)
+	}
+	op := req.Requests[0].Op
+	object := req.Requests[0].Object
+
+	// Freshness (axiom A21, Stubblebine–Wright style window check).
+	if w := s.anchors.FreshnessWindow; w > 0 {
+		for _, r := range req.Requests {
+			delta := int64(now) - int64(r.At)
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > w {
+				return s.deny(&req, "", fmt.Sprintf("request of %s at %s outside freshness window (now %s): %v",
+					r.User, r.At, now, ErrStale), eng.Proof())
+			}
+		}
+	}
+
+	// ---- Step 1: verify the signing keys (messages 1-1, 1-2). ----
+	userKeys := make(map[string]sharedrsa.PublicKey, len(req.Identities))
+	for _, idc := range req.Identities {
+		caKey, ok := s.anchors.CAKeys[idc.Cert.Issuer]
+		if !ok {
+			return s.deny(&req, "", "identity certificate from untrusted CA "+idc.Cert.Issuer, eng.Proof())
+		}
+		if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
+			return s.deny(&req, "", "identity certificate invalid: "+err.Error(), eng.Proof())
+		}
+		caBelief, ok := eng.Store().KeyFor(idc.Cert.Issuer, now)
+		if !ok {
+			return s.deny(&req, "", "no key belief for CA "+idc.Cert.Issuer, eng.Proof())
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeIdentity(idc), caBelief); err != nil {
+			return s.deny(&req, "", "identity derivation failed: "+err.Error(), eng.Proof())
+		}
+		upk, err := idc.Cert.SubjectKey.PublicKey()
+		if err != nil {
+			return s.deny(&req, "", "identity certificate key malformed: "+err.Error(), eng.Proof())
+		}
+		userKeys[idc.Cert.Subject] = upk
+	}
+
+	// ---- Step 2: establish group membership (message 1-3). ----
+	aaBelief, ok := eng.Store().KeyFor(s.anchors.AAName, now)
+	if !ok {
+		return s.deny(&req, "", "no key belief for AA", eng.Proof())
+	}
+	var (
+		group        string
+		ideal        logic.Signed
+		boundKey     map[string]string
+		certValidity clock.Interval
+	)
+	if req.SingleSubject {
+		// A35 path: a single key-bound subject speaks for the group.
+		if err := pki.VerifyAttribute(req.Single, s.anchors.AAKey, now); err != nil {
+			return s.deny(&req, "", "attribute certificate invalid: "+err.Error(), eng.Proof())
+		}
+		if req.Single.Cert.Issuer != s.anchors.AAName {
+			return s.deny(&req, "", "attribute certificate from unexpected issuer "+req.Single.Cert.Issuer, eng.Proof())
+		}
+		group = req.Single.Cert.Group
+		ideal = pki.IdealizeAttribute(req.Single)
+		boundKey = map[string]string{req.Single.Cert.Subject.Name: req.Single.Cert.Subject.KeyID}
+		certValidity = clock.NewInterval(req.Single.Cert.NotBefore, req.Single.Cert.NotAfter)
+	} else {
+		if err := pki.VerifyThresholdAttribute(req.Threshold, s.anchors.AAKey, now); err != nil {
+			return s.deny(&req, "", "threshold attribute certificate invalid: "+err.Error(), eng.Proof())
+		}
+		if req.Threshold.Cert.Issuer != s.anchors.AAName {
+			return s.deny(&req, "", "threshold certificate from unexpected issuer "+req.Threshold.Cert.Issuer, eng.Proof())
+		}
+		group = req.Threshold.Cert.Group
+		ideal = pki.IdealizeThresholdAttribute(req.Threshold)
+		boundKey = make(map[string]string, len(req.Threshold.Cert.Subjects))
+		for _, sub := range req.Threshold.Cert.Subjects {
+			boundKey[sub.Name] = sub.KeyID
+		}
+		certValidity = clock.NewInterval(req.Threshold.Cert.NotBefore, req.Threshold.Cert.NotAfter)
+	}
+	memF, memStep, err := eng.VerifyCertificate(ideal, aaBelief)
+	if err != nil {
+		return s.deny(&req, group, "membership derivation failed: "+err.Error(), eng.Proof())
+	}
+	mem, ok := memF.(logic.MemberOf)
+	if !ok {
+		return s.deny(&req, group, "membership derivation produced unexpected formula", eng.Proof())
+	}
+
+	// ---- Step 3: verify the signed request (message 1-4). ----
+	var utterances []logic.Says
+	var utterSteps []int
+	for _, r := range req.Requests {
+		if r.Op != op || r.Object != object {
+			return s.deny(&req, group, "co-signers disagree on the request", eng.Proof())
+		}
+		upk, ok := userKeys[r.User]
+		if !ok {
+			return s.deny(&req, group, fmt.Sprintf("%s: %v", r.User, ErrMissingIdentity), eng.Proof())
+		}
+		want, ok := boundKey[r.User]
+		if !ok {
+			return s.deny(&req, group, r.User+" is not a subject of the threshold certificate", eng.Proof())
+		}
+		if upk.KeyID() != want {
+			return s.deny(&req, group, r.User+"'s identity key differs from the certificate binding", eng.Proof())
+		}
+		body, err := requestBody(r)
+		if err != nil {
+			return s.deny(&req, group, err.Error(), eng.Proof())
+		}
+		sigVal, ok := new(big.Int).SetString(r.SigS, 16)
+		if !ok {
+			return s.deny(&req, group, r.User+": malformed signature", eng.Proof())
+		}
+		if err := sharedrsa.Verify(body, upk, sharedrsa.Signature{S: sigVal}); err != nil {
+			return s.deny(&req, group, r.User+": request signature invalid", eng.Proof())
+		}
+		// Idealize: ⟦User says_t ("op", object, payload-digest)⟧_Ku⁻¹.
+		content := idealContent(op, object, r.Payload)
+		ideal := logic.Sign(logic.AsMessage(logic.Says{
+			Who: logic.P(r.User),
+			T:   logic.At(r.At),
+			X:   content,
+		}), logic.KeyID(upk.KeyID()))
+		keyBelief, ok := eng.Store().KeyFor(r.User, now)
+		if !ok {
+			return s.deny(&req, group, "no derived key belief for "+r.User, eng.Proof())
+		}
+		says, step, err := eng.VerifySignedRequest(ideal, keyBelief)
+		if err != nil {
+			return s.deny(&req, group, "request derivation failed: "+err.Error(), eng.Proof())
+		}
+		utterances = append(utterances, says)
+		utterSteps = append(utterSteps, step)
+	}
+
+	// A38: conclude G says op (statement 25).
+	gs, _, err := eng.ConcludeGroupSays(mem, memStep, utterances, utterSteps)
+	if err != nil {
+		return s.deny(&req, group, "threshold not met: "+err.Error(), eng.Proof())
+	}
+
+	// ---- Step 4: verify the ACL. ----
+	a, err := s.objects.ACLOf(object)
+	if err != nil {
+		return s.deny(&req, group, "object lookup: "+err.Error(), eng.Proof())
+	}
+	// Privilege inheritance: the group itself or any supergroup it speaks
+	// for (accepted group-link certificates) may appear on the ACL.
+	allowed := false
+	for _, eg := range eng.Store().EffectiveGroups(logic.G(group), now) {
+		if a.Allows(eg.Name, op) {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return s.deny(&req, group, fmt.Sprintf("(%s, %s) ∉ ACL_%s (including inherited groups)", group, op, object), eng.Proof())
+	}
+	// Temporal condition: tb' ≤ t1 and t6 ≤ te'.
+	if certValidity.Begin > req.Requests[0].At || now > certValidity.End {
+		return s.deny(&req, group, "certificate validity does not span the request", eng.Proof())
+	}
+
+	// Execute.
+	var data []byte
+	switch op {
+	case acl.Read:
+		data, err = s.objects.Read(object)
+	case acl.Write:
+		err = s.objects.Write(object, req.Requests[0].Payload, group)
+	case acl.Modify:
+		var entries []acl.Entry
+		if err = json.Unmarshal(req.Requests[0].Payload, &entries); err == nil {
+			var newACL *acl.ACL
+			newACL, err = acl.NewACL(entries...)
+			if err == nil {
+				err = s.objects.SetACL(object, newACL, group)
+			}
+		}
+	default:
+		err = fmt.Errorf("unsupported operation %q", op)
+	}
+	if err != nil {
+		return s.deny(&req, group, "execution failed: "+err.Error(), eng.Proof())
+	}
+
+	if s.log != nil {
+		s.log.Record(audit.Entry{
+			At: now, Outcome: audit.Approved, Server: s.name,
+			Requestor: req.Requests[0].User, Operation: string(op),
+			Object: object, Group: group,
+			Reason:     gs.String(),
+			ProofTrace: eng.Proof().String(),
+		})
+	}
+	return Decision{Allowed: true, Group: group, Reason: gs.String(), Proof: eng.Proof(), Data: data}, nil
+}
+
+// idealContent renders the request content as the logic message of the
+// protocol ("write" O), extended with a payload digest when present.
+func idealContent(op acl.Permission, object string, payload []byte) logic.Message {
+	items := []logic.Message{
+		logic.Const{Value: string(op)},
+		logic.Const{Value: object},
+	}
+	if len(payload) > 0 {
+		items = append(items, logic.Const{Value: fmt.Sprintf("payload#%x", fold(payload))})
+	}
+	return logic.NewTuple(items...)
+}
+
+// fold is a tiny stable digest for idealized payload references (the real
+// integrity guarantee is the RSA signature over the full payload).
+func fold(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// ProcessGroupLink verifies a privilege-inheritance certificate from the
+// AA and records the derived "Sub ⇒ Sup" belief; members of Sub then pass
+// Step 4 against ACL entries naming Sup.
+func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	if link.Cert.Issuer != s.anchors.AAName {
+		return fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
+	}
+	if err := pki.VerifyGroupLink(link, s.anchors.AAKey, now); err != nil {
+		return fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	aaBelief, ok := s.eng.Store().KeyFor(s.anchors.AAName, now)
+	if !ok {
+		return fmt.Errorf("%w: no key belief for AA", ErrDenied)
+	}
+	if _, _, err := s.eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
+		return fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
+	}
+	return nil
+}
+
+// ProcessIdentityRevocation verifies an identity revocation from one of
+// the trusted domain CAs and withdraws the key binding: requests signed
+// with the revoked key are denied from the effective time on (identity
+// revocation per Stubblebine–Wright, which the paper defers to).
+func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) error {
+	caKey, ok := s.anchors.CAKeys[rev.Cert.Issuer]
+	if !ok {
+		return fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
+	}
+	if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
+		return fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	eng := s.eng
+	neg := logic.Not{F: logic.KeySpeaksFor{
+		K:   logic.KeyID(rev.Cert.KeyID),
+		T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
+		Who: logic.P(rev.Cert.Subject),
+	}}
+	step := eng.Proof().Append(logic.RuleRevocation, nil, neg, now,
+		fmt.Sprintf("identity key of %s revoked by %s effective %s",
+			rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
+	eng.Store().Add(neg, now, step)
+	eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
+	if s.log != nil {
+		s.log.Record(audit.Entry{
+			At: now, Outcome: audit.RevocationRecorded, Server: s.name,
+			Requestor: rev.Cert.Issuer,
+			Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
+		})
+	}
+	return nil
+}
+
+// ProcessCRL verifies a signed revocation list and feeds every entry into
+// the belief store — the "most recent available revocation information"
+// refresh of Section 4.3. It returns how many entries were newly recorded.
+func (s *Server) ProcessCRL(crl pki.SignedCRL) (int, error) {
+	var issuerKey sharedrsa.PublicKey
+	switch crl.CRL.Issuer {
+	case s.anchors.RAName:
+		issuerKey = s.anchors.RAKey
+	case s.anchors.AAName:
+		issuerKey = s.anchors.AAKey
+	default:
+		return 0, fmt.Errorf("%w: CRL from untrusted issuer %s", ErrDenied, crl.CRL.Issuer)
+	}
+	if err := pki.VerifyCRL(crl, issuerKey); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	applied := 0
+	for _, rev := range crl.CRL.Entries {
+		s.mu.Lock()
+		already := s.eng.Store().Revoked(
+			pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M), logic.G(rev.Cert.Group), s.clk.Now())
+		s.mu.Unlock()
+		if already {
+			continue
+		}
+		if err := s.ProcessRevocation(rev); err != nil {
+			return applied, fmt.Errorf("CRL entry for %s: %w", rev.Cert.Group, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// ProcessRevocation verifies a revocation certificate (from the RA or the
+// AA itself) and records the negative belief; subsequent derivations for
+// the revoked membership fail (believe-until-revoked).
+func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var issuerKey sharedrsa.PublicKey
+	switch rev.Cert.Issuer {
+	case s.anchors.RAName:
+		issuerKey = s.anchors.RAKey
+	case s.anchors.AAName:
+		issuerKey = s.anchors.AAKey
+	default:
+		return fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
+	}
+	if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
+		return fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	keyBelief, ok := s.eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
+	if !ok {
+		return fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
+	}
+	if _, _, err := s.eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
+		return fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
+	}
+	if s.log != nil {
+		s.log.Record(audit.Entry{
+			At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+			Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
+			Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
+			ProofTrace: s.eng.Proof().String(),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package daemon implements the coalition policy daemon behind
+// cmd/coalitiond: a demo alliance served over the transport, driven by
+// simple JSON commands (cmd/policyctl). The daemon holds the demo users'
+// keys so the client can stay a thin driver; a production deployment
+// would keep keys inside their domains and ship signed request components
+// (internal/authz supports exactly that wire shape).
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"strings"
+
+	"jointadmin"
+	"jointadmin/internal/transport"
+)
+
+// Command is the client → daemon request.
+type Command struct {
+	Cmd     string   `json:"cmd"` // write, read, revoke, audit, join, leave
+	Group   string   `json:"group,omitempty"`
+	Object  string   `json:"object,omitempty"`
+	Data    string   `json:"data,omitempty"`
+	Signers []string `json:"signers,omitempty"`
+	Domain  string   `json:"domain,omitempty"`
+}
+
+// Reply is the daemon → client response.
+type Reply struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	Data   string `json:"data,omitempty"`
+}
+
+// Config sets up the demo alliance.
+type Config struct {
+	Domains        []string
+	Users          []string // assigned to domains round-robin
+	WriteThreshold int
+	Object         string // default "O"
+}
+
+// Daemon is the running coalition policy service.
+type Daemon struct {
+	alliance *jointadmin.Alliance
+	server   *jointadmin.Server
+	object   string
+}
+
+// New forms the alliance, enrolls the users, issues the write/read
+// certificates and installs the object.
+func New(cfg Config) (*Daemon, error) {
+	if len(cfg.Domains) < 2 {
+		return nil, fmt.Errorf("daemon: at least 2 domains required")
+	}
+	if cfg.WriteThreshold == 0 {
+		cfg.WriteThreshold = 2
+	}
+	if cfg.Object == "" {
+		cfg.Object = "O"
+	}
+	a, err := jointadmin.NewAlliance("coalitiond", cfg.Domains)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range cfg.Users {
+		if err := a.EnrollUser(cfg.Domains[i%len(cfg.Domains)], u); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.GrantThreshold("G_write", cfg.WriteThreshold, cfg.Users...); err != nil {
+		return nil, err
+	}
+	if err := a.GrantThreshold("G_read", 1, cfg.Users...); err != nil {
+		return nil, err
+	}
+	srv, err := a.NewServer("P")
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.CreateObject(cfg.Object, map[string][]string{
+		"G_write": {"write"},
+		"G_read":  {"read"},
+	}, []byte("initial content")); err != nil {
+		return nil, err
+	}
+	return &Daemon{alliance: a, server: srv, object: cfg.Object}, nil
+}
+
+// Alliance exposes the underlying alliance (tests, dynamics).
+func (d *Daemon) Alliance() *jointadmin.Alliance { return d.alliance }
+
+// Handle executes one command.
+func (d *Daemon) Handle(cmd Command) Reply {
+	a, srv := d.alliance, d.server
+	a.Clock().Tick()
+	switch cmd.Cmd {
+	case "write":
+		dec, err := a.JointRequest(srv, group(cmd.Group, "G_write"), "write",
+			d.objectOf(cmd), []byte(cmd.Data), cmd.Signers...)
+		if err != nil {
+			return Reply{Detail: err.Error()}
+		}
+		return Reply{OK: true, Detail: "approved via " + dec.Group}
+	case "read":
+		dec, err := a.JointRequest(srv, group(cmd.Group, "G_read"), "read",
+			d.objectOf(cmd), nil, cmd.Signers...)
+		if err != nil {
+			return Reply{Detail: err.Error()}
+		}
+		return Reply{OK: true, Detail: "approved via " + dec.Group, Data: string(dec.Data)}
+	case "revoke":
+		if err := a.Revoke(group(cmd.Group, "G_write"), srv); err != nil {
+			return Reply{Detail: err.Error()}
+		}
+		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}
+	case "audit":
+		return Reply{OK: true, Data: srv.Audit().Render()}
+	case "join":
+		report, err := a.Join(cmd.Domain)
+		if err != nil {
+			return Reply{Detail: err.Error()}
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (re-anchor servers)",
+			report.Epoch, report.CertsRevoked, report.CertsReissued)}
+	case "leave":
+		report, err := a.Leave(cmd.Domain)
+		if err != nil {
+			return Reply{Detail: err.Error()}
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d",
+			report.Epoch, report.CertsRevoked, report.CertsReissued)}
+	default:
+		return Reply{Detail: "unknown command " + cmd.Cmd}
+	}
+}
+
+func (d *Daemon) objectOf(cmd Command) string {
+	if cmd.Object == "" {
+		return d.object
+	}
+	return cmd.Object
+}
+
+func group(g, def string) string {
+	if g == "" {
+		return def
+	}
+	return g
+}
+
+// Serve answers commands on the endpoint until it closes. The reply
+// address rides in the message kind as "cmd@addr" (the client listens on
+// an ephemeral port).
+func (d *Daemon) Serve(node *transport.TCPNode) error {
+	for {
+		env, err := node.Recv()
+		if err != nil {
+			return nil // listener closed
+		}
+		var cmd Command
+		reply := Reply{}
+		if err := json.Unmarshal(env.Payload, &cmd); err != nil {
+			reply.Detail = "bad command: " + err.Error()
+		} else {
+			reply = d.Handle(cmd)
+		}
+		body, err := json.Marshal(reply)
+		if err != nil {
+			log.Printf("daemon: encode reply: %v", err)
+			continue
+		}
+		if addr := returnAddr(env.Kind); addr != "" {
+			node.AddPeer(env.From, addr)
+		}
+		if err := node.Send(env.From, "reply", body); err != nil {
+			log.Printf("daemon: reply to %s: %v", env.From, err)
+		}
+	}
+}
+
+// returnAddr extracts the reply address from "cmd@addr".
+func returnAddr(kind string) string {
+	if i := strings.IndexByte(kind, '@'); i >= 0 {
+		return kind[i+1:]
+	}
+	return ""
+}

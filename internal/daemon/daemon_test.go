@@ -1,0 +1,135 @@
+package daemon
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"jointadmin/internal/transport"
+)
+
+func newDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	d, err := New(Config{
+		Domains:        []string{"D1", "D2", "D3"},
+		Users:          []string{"alice", "bob", "carol"},
+		WriteThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDaemonWriteReadFlow(t *testing.T) {
+	d := newDaemon(t)
+	r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"})
+	if !r.OK {
+		t.Fatalf("write: %+v", r)
+	}
+	r = d.Handle(Command{Cmd: "read", Signers: []string{"carol"}})
+	if !r.OK || r.Data != "v2" {
+		t.Fatalf("read: %+v", r)
+	}
+	// Threshold enforcement surfaces as a denial.
+	r = d.Handle(Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"})
+	if r.OK {
+		t.Fatal("single-signer write approved")
+	}
+	if !strings.Contains(r.Detail, "threshold") {
+		t.Errorf("denial detail = %q", r.Detail)
+	}
+}
+
+func TestDaemonRevokeAndAudit(t *testing.T) {
+	d := newDaemon(t)
+	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
+		t.Fatalf("write: %+v", r)
+	}
+	if r := d.Handle(Command{Cmd: "revoke"}); !r.OK {
+		t.Fatalf("revoke: %+v", r)
+	}
+	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v3"}); r.OK {
+		t.Fatal("post-revocation write approved")
+	}
+	r := d.Handle(Command{Cmd: "audit"})
+	if !r.OK || !strings.Contains(r.Data, "APPROVED") || !strings.Contains(r.Data, "DENIED") {
+		t.Fatalf("audit: %+v", r)
+	}
+}
+
+func TestDaemonDynamics(t *testing.T) {
+	d := newDaemon(t)
+	r := d.Handle(Command{Cmd: "join", Domain: "D4"})
+	if !r.OK || !strings.Contains(r.Detail, "epoch 2") {
+		t.Fatalf("join: %+v", r)
+	}
+	r = d.Handle(Command{Cmd: "leave", Domain: "D4"})
+	if !r.OK || !strings.Contains(r.Detail, "epoch 3") {
+		t.Fatalf("leave: %+v", r)
+	}
+	if r := d.Handle(Command{Cmd: "leave", Domain: "Ghost"}); r.OK {
+		t.Fatal("leave of unknown domain succeeded")
+	}
+}
+
+func TestDaemonUnknownCommand(t *testing.T) {
+	d := newDaemon(t)
+	if r := d.Handle(Command{Cmd: "fly"}); r.OK || !strings.Contains(r.Detail, "unknown") {
+		t.Fatalf("unknown command: %+v", r)
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	if _, err := New(Config{Domains: []string{"only"}}); err == nil {
+		t.Fatal("single-domain daemon accepted")
+	}
+}
+
+// TestDaemonOverTCP drives the full client path: a policyctl-shaped client
+// sends a command over TCP with the reply address in the kind field.
+func TestDaemonOverTCP(t *testing.T) {
+	d := newDaemon(t)
+	node, err := transport.ListenTCP("coalitiond", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = d.Serve(node)
+	}()
+
+	client, err := transport.ListenTCP("policyctl", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.AddPeer("coalitiond", node.Addr())
+
+	body, err := json.Marshal(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "over tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send("coalitiond", "cmd@"+client.Addr(), body); err != nil {
+		t.Fatal(err)
+	}
+	env, err := client.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := json.Unmarshal(env.Payload, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK {
+		t.Fatalf("reply: %+v", reply)
+	}
+	node.Close()
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not exit on Close")
+	}
+}

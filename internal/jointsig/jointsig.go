@@ -1,0 +1,268 @@
+// Package jointsig runs the joint signature protocol of Section 3.2 over
+// the message transport: "the joint signature algorithm involves the
+// requestor (one of the domains) sending a message to all the co-signers
+// (the remaining member domains) with the message M to be signed and a key
+// ID comprising the hash of N and the public exponent e. Each of the
+// co-signers then apply their corresponding private key shares dᵢ to
+// compute Sᵢ = M^dᵢ mod N and send the computations back to the
+// requestor. The requestor then computes the message signature
+// S = ∏ Sᵢ mod N."
+//
+// The in-process protocol in internal/sharedrsa is the same mathematics;
+// this package adds the distribution: framed request/response messages,
+// per-co-signer approval policy, timeouts, and tolerance of failed
+// co-signers when an m-of-n quorum suffices.
+package jointsig
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+// Message kinds on the wire.
+const (
+	KindSignRequest  = "jointsig.request"
+	KindSignResponse = "jointsig.response"
+)
+
+// Sentinel errors.
+var (
+	// ErrTimeout indicates too few responses arrived in time.
+	ErrTimeout = errors.New("jointsig: timed out waiting for co-signers")
+	// ErrRefused indicates a co-signer's policy rejected the request.
+	ErrRefused = errors.New("jointsig: co-signer refused")
+	// ErrWrongKey indicates a request for a key this co-signer has no
+	// share of.
+	ErrWrongKey = errors.New("jointsig: unknown key id")
+)
+
+// signRequest is the requestor → co-signer message: (M, keyID).
+type signRequest struct {
+	KeyID   string `json:"keyId"`
+	Message []byte `json:"message"`
+	Nonce   uint64 `json:"nonce"`
+}
+
+// signResponse is the co-signer → requestor message.
+type signResponse struct {
+	KeyID   string `json:"keyId"`
+	Nonce   uint64 `json:"nonce"`
+	Index   int    `json:"index"`
+	Partial string `json:"partial,omitempty"` // hex Sᵢ
+	Refused string `json:"refused,omitempty"` // refusal reason
+}
+
+// Cosigner is one domain's signing service: it holds the domain's share
+// and answers signing requests after consulting the approval policy.
+type Cosigner struct {
+	endpoint transport.Endpoint
+	pk       sharedrsa.PublicKey
+	share    sharedrsa.Share
+	approve  func(msg []byte) error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCosigner starts a co-signer service on the endpoint. approve may be
+// nil (approve everything). Call Close to stop it.
+func NewCosigner(ep transport.Endpoint, pk sharedrsa.PublicKey, share sharedrsa.Share, approve func([]byte) error) *Cosigner {
+	c := &Cosigner{
+		endpoint: ep,
+		pk:       pk,
+		share:    share.Clone(),
+		approve:  approve,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.serve()
+	return c
+}
+
+// Close stops the service and waits for its goroutine.
+func (c *Cosigner) Close() {
+	close(c.stop)
+	<-c.done
+}
+
+func (c *Cosigner) serve() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		env, err := c.endpoint.RecvTimeout(50 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, transport.ErrRecvTimeout) {
+				continue // idle tick; poll the stop channel
+			}
+			return // endpoint closed
+		}
+		if env.Kind != KindSignRequest {
+			continue
+		}
+		c.handle(env)
+	}
+}
+
+func (c *Cosigner) handle(env transport.Envelope) {
+	var req signRequest
+	if err := json.Unmarshal(env.Payload, &req); err != nil {
+		return
+	}
+	resp := signResponse{KeyID: req.KeyID, Nonce: req.Nonce, Index: c.share.Index}
+	switch {
+	case req.KeyID != c.pk.KeyID():
+		resp.Refused = ErrWrongKey.Error()
+	case c.approve != nil:
+		if err := c.approve(req.Message); err != nil {
+			resp.Refused = fmt.Sprintf("%v", err)
+		}
+	}
+	if resp.Refused == "" {
+		partial, err := sharedrsa.PartialSign(req.Message, c.pk, c.share)
+		if err != nil {
+			resp.Refused = err.Error()
+		} else {
+			resp.Partial = partial.V.Text(16)
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	// Best-effort reply; the requestor handles missing responses.
+	_ = c.endpoint.Send(env.From, KindSignResponse, body)
+}
+
+// Requestor drives joint signatures from one domain: it signs with the
+// local share and gathers the co-signers' partials over the network.
+//
+// Each endpoint plays exactly one role: a domain is either the requestor
+// or runs a Cosigner service, never both on the same endpoint (two
+// consumers of one inbox would steal each other's messages). A deployment
+// wanting any-domain-initiates gives each domain two endpoints.
+type Requestor struct {
+	endpoint transport.Endpoint
+	pk       sharedrsa.PublicKey
+	share    sharedrsa.Share
+	peers    []string
+
+	mu    sync.Mutex
+	nonce uint64
+}
+
+// NewRequestor wraps the requestor domain's endpoint, share, and the names
+// of the co-signer endpoints.
+func NewRequestor(ep transport.Endpoint, pk sharedrsa.PublicKey, share sharedrsa.Share, peers []string) *Requestor {
+	ps := make([]string, len(peers))
+	copy(ps, peers)
+	return &Requestor{endpoint: ep, pk: pk, share: share.Clone(), peers: ps}
+}
+
+// Options configures one signing round.
+type Options struct {
+	// Need is the number of partials required including the requestor's
+	// own (n for an n-of-n sharing). 0 means all peers + self.
+	Need int
+	// Timeout bounds the wait for co-signer responses.
+	Timeout time.Duration
+	// TotalParties is the correction budget (defaults to Need).
+	TotalParties int
+}
+
+// Sign runs the Section 3.2 flow: broadcast (M, keyID), collect partials,
+// combine with trial correction, verify.
+func (r *Requestor) Sign(msg []byte, opts Options) (sharedrsa.Signature, error) {
+	if opts.Need == 0 {
+		opts.Need = len(r.peers) + 1
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.TotalParties < opts.Need {
+		opts.TotalParties = opts.Need
+	}
+	r.mu.Lock()
+	r.nonce++
+	nonce := r.nonce
+	r.mu.Unlock()
+
+	req := signRequest{KeyID: r.pk.KeyID(), Message: msg, Nonce: nonce}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sharedrsa.Signature{}, err
+	}
+	reached := 0
+	for _, peer := range r.peers {
+		if err := r.endpoint.Send(peer, KindSignRequest, body); err == nil {
+			reached++
+		}
+	}
+	// The requestor contributes its own partial.
+	own, err := sharedrsa.PartialSign(msg, r.pk, r.share)
+	if err != nil {
+		return sharedrsa.Signature{}, err
+	}
+	partials := []sharedrsa.PartialSignature{own}
+	if reached+1 < opts.Need {
+		return sharedrsa.Signature{}, fmt.Errorf("%w: only %d co-signers reachable, need %d",
+			ErrTimeout, reached, opts.Need-1)
+	}
+
+	deadline := time.Now().Add(opts.Timeout)
+	var refusals []string
+	seen := map[int]bool{own.Index: true}
+	for len(partials) < opts.Need {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		env, err := r.endpoint.RecvTimeout(remain)
+		if err != nil {
+			break
+		}
+		if env.Kind != KindSignResponse {
+			continue
+		}
+		var resp signResponse
+		if err := json.Unmarshal(env.Payload, &resp); err != nil {
+			continue
+		}
+		if resp.Nonce != nonce || resp.KeyID != req.KeyID || seen[resp.Index] {
+			continue
+		}
+		if resp.Refused != "" {
+			refusals = append(refusals, fmt.Sprintf("%s: %s", env.From, resp.Refused))
+			continue
+		}
+		v, ok := new(big.Int).SetString(resp.Partial, 16)
+		if !ok {
+			continue
+		}
+		seen[resp.Index] = true
+		partials = append(partials, sharedrsa.PartialSignature{Index: resp.Index, V: v})
+	}
+	if len(partials) < opts.Need {
+		if len(refusals) > 0 {
+			return sharedrsa.Signature{}, fmt.Errorf("%w: %d of %d partials (refusals: %v)",
+				ErrRefused, len(partials), opts.Need, refusals)
+		}
+		return sharedrsa.Signature{}, fmt.Errorf("%w: %d of %d partials",
+			ErrTimeout, len(partials), opts.Need)
+	}
+	sig, err := sharedrsa.Combine(msg, r.pk, partials, opts.TotalParties)
+	if err != nil {
+		return sharedrsa.Signature{}, fmt.Errorf("jointsig: combine: %w", err)
+	}
+	return sig, nil
+}

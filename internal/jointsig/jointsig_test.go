@@ -1,0 +1,211 @@
+package jointsig
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+func dealerKey(t *testing.T, n int) *sharedrsa.DealerResult {
+	t.Helper()
+	res, err := sharedrsa.DealerSplit(512, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// deploy starts co-signers D2..Dn on the network and returns a requestor
+// at D1 plus a cleanup function.
+func deploy(t *testing.T, net *transport.Memory, res *sharedrsa.DealerResult, approve func([]byte) error) (*Requestor, func()) {
+	t.Helper()
+	n := len(res.Shares)
+	var cosigners []*Cosigner
+	var peers []string
+	for i := 1; i < n; i++ {
+		name := peerName(i)
+		ep := net.Endpoint(name)
+		cosigners = append(cosigners, NewCosigner(ep, res.Public, res.Shares[i], approve))
+		peers = append(peers, name)
+	}
+	req := NewRequestor(net.Endpoint("D1"), res.Public, res.Shares[0], peers)
+	return req, func() {
+		for _, c := range cosigners {
+			c.Close()
+		}
+	}
+}
+
+func peerName(i int) string { return "D" + string(rune('1'+i)) }
+
+func TestJointSignOverMemoryBus(t *testing.T) {
+	res := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{})
+	req, cleanup := deploy(t, net, res, nil)
+	defer cleanup()
+	defer net.Close()
+
+	msg := []byte("threshold attribute certificate")
+	sig, err := req.Sign(msg, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharedrsa.Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointSignWithLatency(t *testing.T) {
+	res := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{Latency: 5 * time.Millisecond})
+	req, cleanup := deploy(t, net, res, nil)
+	defer cleanup()
+	defer net.Close()
+
+	msg := []byte("slow network")
+	sig, err := req.Sign(msg, Options{Timeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharedrsa.Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointSignFailsWhenCosignerDown(t *testing.T) {
+	// n-of-n: a downed co-signer blocks the signature (Requirement III /
+	// the availability weakness that motivates Section 3.3).
+	res := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{})
+	req, cleanup := deploy(t, net, res, nil)
+	defer cleanup()
+	defer net.Close()
+
+	net.Fail("D2")
+	_, err := req.Sign([]byte("m"), Options{Timeout: 300 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("signing with a down co-signer: %v", err)
+	}
+	// After recovery it works again.
+	net.Recover("D2")
+	sig, err := req.Sign([]byte("m"), Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharedrsa.Verify([]byte("m"), res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointSignRefusal(t *testing.T) {
+	res := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{})
+	veto := errors.New("domain policy forbids this certificate")
+	req, cleanup := deploy(t, net, res, func(msg []byte) error {
+		if string(msg) == "forbidden" {
+			return veto
+		}
+		return nil
+	})
+	defer cleanup()
+	defer net.Close()
+
+	if _, err := req.Sign([]byte("forbidden"), Options{Timeout: 500 * time.Millisecond}); !errors.Is(err, ErrRefused) {
+		t.Fatalf("vetoed signing: %v", err)
+	}
+	// Non-vetoed content signs fine.
+	sig, err := req.Sign([]byte("allowed"), Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharedrsa.Verify([]byte("allowed"), res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointSignWrongKeyID(t *testing.T) {
+	res := dealerKey(t, 3)
+	other := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{})
+	// Co-signers hold res shares; the requestor asks for other's key.
+	var cosigners []*Cosigner
+	for i := 1; i < 3; i++ {
+		cosigners = append(cosigners, NewCosigner(net.Endpoint(peerName(i)), res.Public, res.Shares[i], nil))
+	}
+	defer func() {
+		for _, c := range cosigners {
+			c.Close()
+		}
+	}()
+	defer net.Close()
+	req := NewRequestor(net.Endpoint("D1"), other.Public, other.Shares[0], []string{"D2", "D3"})
+	if _, err := req.Sign([]byte("m"), Options{Timeout: 400 * time.Millisecond}); !errors.Is(err, ErrRefused) {
+		t.Fatalf("wrong key id: %v", err)
+	}
+}
+
+func TestJointSignOverTCP(t *testing.T) {
+	res := dealerKey(t, 3)
+	nodes := make([]*transport.TCPNode, 3)
+	for i := range nodes {
+		n, err := transport.ListenTCP(peerName(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				nodes[i].AddPeer(peerName(j), nodes[j].Addr())
+			}
+		}
+	}
+	c2 := NewCosigner(nodes[1], res.Public, res.Shares[1], nil)
+	defer c2.Close()
+	c3 := NewCosigner(nodes[2], res.Public, res.Shares[2], nil)
+	defer c3.Close()
+	req := NewRequestor(nodes[0], res.Public, res.Shares[0], []string{"D2", "D3"})
+
+	msg := []byte("certificate over tcp")
+	sig, err := req.Sign(msg, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharedrsa.Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointSignSequentialRounds(t *testing.T) {
+	// Nonces keep rounds apart; several signatures in a row must all
+	// verify and not cross-contaminate.
+	res := dealerKey(t, 3)
+	net := transport.NewMemory(transport.Faults{})
+	req, cleanup := deploy(t, net, res, nil)
+	defer cleanup()
+	defer net.Close()
+
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i), 'm'}
+		sig, err := req.Sign(msg, Options{Timeout: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if err := sharedrsa.Verify(msg, res.Public, sig); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}
+
+func TestCosignerCloseIdempotentService(t *testing.T) {
+	res := dealerKey(t, 2)
+	net := transport.NewMemory(transport.Faults{})
+	defer net.Close()
+	c := NewCosigner(net.Endpoint("D2"), res.Public, res.Shares[1], nil)
+	c.Close() // must return promptly and not hang
+}

@@ -1,0 +1,200 @@
+package keygenproto
+
+import (
+	"fmt"
+	"math/big"
+
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+// RunFollower participates in the protocol as party `index` (2-based..n).
+// peers lists all party endpoint names in index order. It blocks until the
+// coordinator completes a candidate, the protocol errors, or a receive
+// times out.
+func RunFollower(ep transport.Endpoint, index int, peers []string, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	n := len(peers)
+	if index < 2 || index > n {
+		return nil, fmt.Errorf("%w: follower index %d of %d", ErrProtocol, index, n)
+	}
+	pt := &party{ep: ep, index: index, peers: peers, n: n, cfg: cfg}
+
+	// Init: learn the field, sizes, exponent.
+	_, init, err := pt.recv(kindInit)
+	if err != nil {
+		return nil, err
+	}
+	field, err := hexInt(init.Field)
+	if err != nil {
+		return nil, err
+	}
+	pt.field = field
+	pt.cfg.Bits = init.Bits
+	pt.cfg.BiprimeRounds = init.Rounds
+	pt.e = big.NewInt(init.E)
+	moduli := sharedrsa.SieveModuli(pt.e)
+
+	for {
+		outcome, done, err := pt.followAttempt(moduli)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return outcome, nil
+		}
+	}
+}
+
+// followAttempt processes one candidate reactively. done=true carries the
+// final outcome; done=false means the attempt was rejected somewhere.
+func (pt *party) followAttempt(moduli []*big.Int) (*Outcome, bool, error) {
+	// 1. sample trigger.
+	_, m, err := pt.recv(kindSample)
+	if err != nil {
+		return nil, false, err
+	}
+	attempt := m.Attempt
+	if err := pt.sample(); err != nil {
+		return nil, false, err
+	}
+
+	// 2. sieve ring: add own residues, forward along the ring.
+	for {
+		env, sv, err := pt.recv(kindSieve, kindReject)
+		if err != nil {
+			return nil, false, err
+		}
+		if sv.Attempt != attempt {
+			continue
+		}
+		if env.Kind == kindReject {
+			return nil, false, nil
+		}
+		accP, accQ, err := pt.addResidues(sv.AccP, sv.AccQ, moduli)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := send(pt.ep, pt.next(), kindSieve, msg{Attempt: attempt, AccP: accP, AccQ: accQ}); err != nil {
+			return nil, false, err
+		}
+		break
+	}
+
+	// 3. BGW trigger (or rejection after the coordinator saw the sums).
+	trigEnv, trig, err := pt.recv(kindBGW, kindReject)
+	if err != nil {
+		return nil, false, err
+	}
+	if trig.Attempt != attempt {
+		return nil, false, fmt.Errorf("%w: attempt skew (%d vs %d)", ErrProtocol, trig.Attempt, attempt)
+	}
+	if trigEnv.Kind == kindReject {
+		return nil, false, nil
+	}
+	x, y, err := pt.bgwContribute(attempt)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := send(pt.ep, pt.name(1), kindBGWPoint, msg{Attempt: attempt, X: x, Y: y.Text(16)}); err != nil {
+		return nil, false, err
+	}
+
+	// Modulus or rejection.
+	modEnv, mod, err := pt.recv(kindModulus, kindReject)
+	if err != nil {
+		return nil, false, err
+	}
+	if modEnv.Kind == kindReject {
+		return nil, false, nil
+	}
+	bigN, err := hexInt(mod.N)
+	if err != nil {
+		return nil, false, err
+	}
+	expI, ok := sharedrsa.BiprimeExponent(pt.index, bigN, pt.p, pt.q)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: follower congruence violated", ErrProtocol)
+	}
+
+	// 4. biprimality rounds, then 5. the φ ring, arrive interleaved with
+	// possible rejection.
+	for {
+		bmEnv, bm, err := pt.recv(kindBiprime, kindPhi, kindReject)
+		if err != nil {
+			return nil, false, err
+		}
+		if bm.Attempt != attempt {
+			continue
+		}
+		if bmEnv.Kind == kindReject {
+			return nil, false, nil
+		}
+		switch bmEnv.Kind {
+		case kindBiprime: // biprime round
+			g, err := hexInt(bm.G)
+			if err != nil {
+				return nil, false, err
+			}
+			v := new(big.Int).Exp(g, expI, bigN)
+			if err := send(pt.ep, pt.name(1), kindBipV, msg{
+				Attempt: attempt, Round: bm.Round, Index: pt.index, V: v.Text(16),
+			}); err != nil {
+				return nil, false, err
+			}
+		case kindPhi: // φ ring
+			phi := sharedrsa.PhiShare(pt.index, bigN, pt.p, pt.q)
+			acc, err := hexInt(bm.Acc)
+			if err != nil {
+				return nil, false, err
+			}
+			acc.Add(acc, new(big.Int).Mod(phi, pt.e))
+			acc.Mod(acc, pt.e)
+			if err := send(pt.ep, pt.next(), kindPhi, msg{Attempt: attempt, Acc: acc.Text(16)}); err != nil {
+				return nil, false, err
+			}
+			goto zeta
+		}
+	}
+
+zeta:
+	zEnv, zm, err := pt.recv(kindZeta, kindReject)
+	if err != nil {
+		return nil, false, err
+	}
+	if zEnv.Kind == kindReject {
+		return nil, false, nil // rejected (gcd(e, φ) ≠ 1)
+	}
+	zetaV, err := hexInt(zm.Zeta)
+	if err != nil {
+		return nil, false, err
+	}
+	pk := sharedrsa.PublicKey{N: bigN, E: new(big.Int).Set(pt.e)}
+	share := pt.deriveShare(bigN, zetaV)
+
+	// 6. probe.
+	pEnv, pm, err := pt.recv(kindProbe, kindReject)
+	if err != nil {
+		return nil, false, err
+	}
+	if pEnv.Kind == kindReject {
+		return nil, false, nil
+	}
+	partial, err := sharedrsa.PartialSign(pm.Probe, pk, share)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := send(pt.ep, pt.name(1), kindPartial, msg{
+		Attempt: attempt, Index: pt.index, V: partial.V.Text(16),
+	}); err != nil {
+		return nil, false, err
+	}
+	_, dm, err := pt.recv(kindDone)
+	if err != nil {
+		return nil, false, err
+	}
+	if !dm.OK {
+		return nil, false, nil
+	}
+	return &Outcome{Public: pk, Share: share, Attempts: attempt}, true, nil
+}

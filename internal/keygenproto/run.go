@@ -1,0 +1,344 @@
+package keygenproto
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"jointadmin/internal/mpc/shamir"
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/transport"
+)
+
+// Additional trigger kind (the coordinator tells followers to start the
+// BGW exchange after the sieve accepts).
+const kindBGW = "kg.bgw"
+
+// RunCoordinator drives the protocol as party 1. peers lists all party
+// endpoint names in index order, including the coordinator's own name
+// first. It blocks until the protocol completes, fails, or times out.
+func RunCoordinator(ep transport.Endpoint, peers []string, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	n := len(peers)
+	if n < 2 {
+		return nil, sharedrsa.ErrTooFewParties
+	}
+	field, err := rand.Prime(rand.Reader, cfg.Bits+16)
+	if err != nil {
+		return nil, fmt.Errorf("keygenproto: sample field: %w", err)
+	}
+	pt := &party{ep: ep, index: 1, peers: peers, n: n, cfg: cfg,
+		field: field, e: big.NewInt(cfg.E)}
+	// Init broadcast: field, sizes.
+	for i := 2; i <= n; i++ {
+		if err := send(ep, pt.name(i), kindInit, msg{
+			Field: field.Text(16), Bits: cfg.Bits, E: cfg.E, Rounds: cfg.BiprimeRounds,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	moduli := sharedrsa.SieveModuli(pt.e)
+
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		outcome, ok, err := pt.coordinateAttempt(attempt, moduli)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			outcome.Attempts = attempt
+			return outcome, nil
+		}
+	}
+	return nil, ErrExhausted
+}
+
+// reject tells every follower to abandon the attempt.
+func (pt *party) reject(attempt int) error {
+	for i := 2; i <= pt.n; i++ {
+		if err := send(pt.ep, pt.name(i), kindReject, msg{Attempt: attempt}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pt *party) broadcast(kind string, m msg) error {
+	for i := 2; i <= pt.n; i++ {
+		if err := send(pt.ep, pt.name(i), kind, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coordinateAttempt runs one candidate through all six rounds. ok=false
+// means the candidate was rejected and a new attempt should start.
+func (pt *party) coordinateAttempt(attempt int, moduli []*big.Int) (*Outcome, bool, error) {
+	// 1. sample.
+	if err := pt.broadcast(kindSample, msg{Attempt: attempt}); err != nil {
+		return nil, false, err
+	}
+	if err := pt.sample(); err != nil {
+		return nil, false, err
+	}
+
+	// 2. sieve ring with blinding.
+	blindP := make([]*big.Int, len(moduli))
+	blindQ := make([]*big.Int, len(moduli))
+	accP := make([]string, len(moduli))
+	accQ := make([]string, len(moduli))
+	for j, m := range moduli {
+		bp, err := rand.Int(rand.Reader, m)
+		if err != nil {
+			return nil, false, err
+		}
+		bq, err := rand.Int(rand.Reader, m)
+		if err != nil {
+			return nil, false, err
+		}
+		blindP[j], blindQ[j] = bp, bq
+		ap := new(big.Int).Add(bp, new(big.Int).Mod(pt.p, m))
+		ap.Mod(ap, m)
+		aq := new(big.Int).Add(bq, new(big.Int).Mod(pt.q, m))
+		aq.Mod(aq, m)
+		accP[j] = ap.Text(16)
+		accQ[j] = aq.Text(16)
+	}
+	if err := send(pt.ep, pt.next(), kindSieve, msg{Attempt: attempt, AccP: accP, AccQ: accQ}); err != nil {
+		return nil, false, err
+	}
+	// The ring returns from party n.
+	var back msg
+	for {
+		_, m, err := pt.recv(kindSieve)
+		if err != nil {
+			return nil, false, err
+		}
+		if m.Attempt == attempt {
+			back = m
+			break
+		}
+	}
+	resP := make([]*big.Int, len(moduli))
+	resQ := make([]*big.Int, len(moduli))
+	for j, m := range moduli {
+		ap, err := hexInt(back.AccP[j])
+		if err != nil {
+			return nil, false, err
+		}
+		aq, err := hexInt(back.AccQ[j])
+		if err != nil {
+			return nil, false, err
+		}
+		resP[j] = ap.Sub(ap, blindP[j]).Mod(ap, m)
+		resQ[j] = aq.Sub(aq, blindQ[j]).Mod(aq, m)
+	}
+	if !sharedrsa.SieveAccepts(resP, moduli) || !sharedrsa.SieveAccepts(resQ, moduli) {
+		return nil, false, pt.reject(attempt)
+	}
+
+	// 3. BGW multiplication.
+	if err := pt.broadcast(kindBGW, msg{Attempt: attempt}); err != nil {
+		return nil, false, err
+	}
+	x, y, err := pt.bgwContribute(attempt)
+	if err != nil {
+		return nil, false, err
+	}
+	points := []shamir.Share{{X: big.NewInt(int64(x)), Y: y}}
+	seen := map[int]bool{x: true}
+	for len(points) < pt.n {
+		_, m, err := pt.recv(kindBGWPoint)
+		if err != nil {
+			return nil, false, err
+		}
+		if m.Attempt != attempt || seen[m.X] {
+			continue
+		}
+		py, err := hexInt(m.Y)
+		if err != nil {
+			return nil, false, err
+		}
+		points = append(points, shamir.Share{X: big.NewInt(int64(m.X)), Y: py})
+		seen[m.X] = true
+	}
+	bigN, err := shamir.Interpolate(points, big.NewInt(0), pt.field)
+	if err != nil {
+		return nil, false, err
+	}
+	if bigN.BitLen() < pt.cfg.Bits-2 || sharedrsa.IsPerfectSquare(bigN) {
+		return nil, false, pt.reject(attempt)
+	}
+	if err := pt.broadcast(kindModulus, msg{Attempt: attempt, N: bigN.Text(16)}); err != nil {
+		return nil, false, err
+	}
+
+	// 4. biprimality rounds.
+	exp1, ok := sharedrsa.BiprimeExponent(1, bigN, pt.p, pt.q)
+	if !ok {
+		return nil, false, pt.reject(attempt)
+	}
+	for round := 0; round < pt.cfg.BiprimeRounds; round++ {
+		g, ok, err := sharedrsa.SampleBiprimeBase(bigN, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, pt.reject(attempt)
+		}
+		if err := pt.broadcast(kindBiprime, msg{Attempt: attempt, Round: round, G: g.Text(16)}); err != nil {
+			return nil, false, err
+		}
+		v1 := new(big.Int).Exp(g, exp1, bigN)
+		others := make([]*big.Int, 0, pt.n-1)
+		seenV := map[int]bool{}
+		for len(others) < pt.n-1 {
+			_, m, err := pt.recv(kindBipV)
+			if err != nil {
+				return nil, false, err
+			}
+			if m.Attempt != attempt || m.Round != round || seenV[m.Index] {
+				continue
+			}
+			v, err := hexInt(m.V)
+			if err != nil {
+				return nil, false, err
+			}
+			others = append(others, v)
+			seenV[m.Index] = true
+		}
+		if !sharedrsa.BiprimeAccepts(bigN, v1, others) {
+			return nil, false, pt.reject(attempt)
+		}
+	}
+
+	// 5. exponent: blinded ring of φ mod e, then ζ broadcast.
+	blind, err := rand.Int(rand.Reader, pt.e)
+	if err != nil {
+		return nil, false, err
+	}
+	phi1 := sharedrsa.PhiShare(1, bigN, pt.p, pt.q)
+	acc := new(big.Int).Add(blind, new(big.Int).Mod(phi1, pt.e))
+	acc.Mod(acc, pt.e)
+	if err := send(pt.ep, pt.next(), kindPhi, msg{Attempt: attempt, Acc: acc.Text(16)}); err != nil {
+		return nil, false, err
+	}
+	var phiBack msg
+	for {
+		_, m, err := pt.recv(kindPhi)
+		if err != nil {
+			return nil, false, err
+		}
+		if m.Attempt == attempt {
+			phiBack = m
+			break
+		}
+	}
+	sum, err := hexInt(phiBack.Acc)
+	if err != nil {
+		return nil, false, err
+	}
+	sum.Sub(sum, blind)
+	sum.Mod(sum, pt.e)
+	zeta, ok := sharedrsa.Zeta(sum, pt.e)
+	if !ok {
+		return nil, false, pt.reject(attempt)
+	}
+	if err := pt.broadcast(kindZeta, msg{Attempt: attempt, Zeta: zeta.Text(16)}); err != nil {
+		return nil, false, err
+	}
+	pk := sharedrsa.PublicKey{N: bigN, E: new(big.Int).Set(pt.e)}
+	share := pt.deriveShare(bigN, zeta)
+
+	// 6. probe signature over the wire.
+	probe := []byte("keygenproto probe")
+	if err := pt.broadcast(kindProbe, msg{Attempt: attempt, Probe: probe}); err != nil {
+		return nil, false, err
+	}
+	own, err := sharedrsa.PartialSign(probe, pk, share)
+	if err != nil {
+		return nil, false, err
+	}
+	partials := []sharedrsa.PartialSignature{own}
+	seenP := map[int]bool{1: true}
+	for len(partials) < pt.n {
+		_, m, err := pt.recv(kindPartial)
+		if err != nil {
+			return nil, false, err
+		}
+		if m.Attempt != attempt || seenP[m.Index] {
+			continue
+		}
+		v, err := hexInt(m.V)
+		if err != nil {
+			return nil, false, err
+		}
+		partials = append(partials, sharedrsa.PartialSignature{Index: m.Index, V: v})
+		seenP[m.Index] = true
+	}
+	if _, err := sharedrsa.Combine(probe, pk, partials, pt.n); err != nil {
+		// Composite survivor or bad sharing: reject and resample.
+		if err := pt.broadcast(kindDone, msg{Attempt: attempt, OK: false}); err != nil {
+			return nil, false, err
+		}
+		return nil, false, nil
+	}
+	if err := pt.broadcast(kindDone, msg{Attempt: attempt, OK: true}); err != nil {
+		return nil, false, err
+	}
+	return &Outcome{Public: pk, Share: share}, true, nil
+}
+
+// bgwContribute is bgwRound for any party, returning the product point
+// instead of sending it (the coordinator keeps its own).
+func (pt *party) bgwContribute(attempt int) (int, *big.Int, error) {
+	t := (pt.n - 1) / 2
+	k := t + 1
+	sp, err := shamir.Split(new(big.Int).Mod(pt.p, pt.field), k, pt.n, pt.field, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	sq, err := shamir.Split(new(big.Int).Mod(pt.q, pt.field), k, pt.n, pt.field, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	myP := new(big.Int).Set(sp[pt.index-1].Y)
+	myQ := new(big.Int).Set(sq[pt.index-1].Y)
+	for j := 1; j <= pt.n; j++ {
+		if j == pt.index {
+			continue
+		}
+		if err := send(pt.ep, pt.name(j), kindBGWShare, msg{
+			Attempt: attempt, Index: pt.index,
+			PY: sp[j-1].Y.Text(16), QY: sq[j-1].Y.Text(16),
+		}); err != nil {
+			return 0, nil, err
+		}
+	}
+	got := map[int]bool{pt.index: true}
+	for len(got) < pt.n {
+		_, m, err := pt.recv(kindBGWShare)
+		if err != nil {
+			return 0, nil, err
+		}
+		if m.Attempt != attempt || got[m.Index] {
+			continue
+		}
+		py, err := hexInt(m.PY)
+		if err != nil {
+			return 0, nil, err
+		}
+		qy, err := hexInt(m.QY)
+		if err != nil {
+			return 0, nil, err
+		}
+		myP.Add(myP, py)
+		myP.Mod(myP, pt.field)
+		myQ.Add(myQ, qy)
+		myQ.Mod(myQ, pt.field)
+		got[m.Index] = true
+	}
+	prod := new(big.Int).Mul(myP, myQ)
+	prod.Mod(prod, pt.field)
+	return pt.index, prod, nil
+}

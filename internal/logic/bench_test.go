@@ -1,0 +1,96 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+
+	"jointadmin/internal/clock"
+)
+
+func benchCert() Signed {
+	cp := CP(P("U1").Bind("K1"), P("U2").Bind("K2"), P("U3").Bind("K3")).WithThreshold(2)
+	body := MemberOf{Who: cp, T: During(50, 5000).On("AA"), G: G("G_write")}
+	return Sign(AsMessage(Says{Who: P("AA"), T: At(95), X: AsMessage(body)}), "KAA")
+}
+
+func BenchmarkFormulaString(b *testing.B) {
+	f := benchCert()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.String()
+	}
+}
+
+func BenchmarkParseFormula(b *testing.B) {
+	src := benchCert().X.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFormula(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA38Threshold(b *testing.B) {
+	cp := CP(P("U1").Bind("K1"), P("U2").Bind("K2"), P("U3").Bind("K3")).WithThreshold(2)
+	m := MemberOf{Who: cp, T: During(0, 1000), G: G("G_write")}
+	content := NewTuple(Const{Value: "write"}, Const{Value: "O"})
+	signers := []Says{
+		{Who: P("U1"), T: At(5), X: Sign(content, "K1")},
+		{Who: P("U2"), T: At(5), X: Sign(content, "K2")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := A38Threshold(m, signers, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubmessages(b *testing.B) {
+	msg := NewTuple(
+		Sign(Encrypt(NewTuple(Const{Value: "a"}, Const{Value: "b"}), "Ka"), "Kb"),
+		Const{Value: "c"},
+		Sign(Const{Value: "d"}, "Kd"),
+	)
+	keys := map[KeyID]bool{"Ka": true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Submessages(msg, keys)
+	}
+}
+
+func BenchmarkEngineFullCertificateChain(b *testing.B) {
+	clk := clock.New(100)
+	eng := NewEngine("P", clk)
+	eng.Assume(KeySpeaksFor{K: "KAA", T: During(0, clock.Infinity).On("P"), Who: P("AA")}, "")
+	eng.Assume(MembershipJurisdiction{Authority: P("AA"), AuthorityName: "AA"}, "")
+	eng.Assume(SaysTimeJurisdiction{Authority: P("AA"), Since: 0, Server: "P"}, "")
+	cert := benchCert()
+	key, _ := eng.Store().KeyFor("AA", 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.VerifyCertificate(cert, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreEffectiveGroups(b *testing.B) {
+	s := NewBeliefStore()
+	// A 20-deep inheritance chain plus noise.
+	for i := 0; i < 20; i++ {
+		s.Add(GroupSpeaksFor{
+			Sub: G(fmt.Sprintf("G%d", i)), T: During(0, 1000), Sup: G(fmt.Sprintf("G%d", i+1)),
+		}, 0, 1)
+	}
+	for i := 0; i < 200; i++ {
+		s.Add(Prop{Name: fmt.Sprintf("noise%d", i)}, 0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.EffectiveGroups(G("G0"), 10); len(got) != 21 {
+			b.Fatalf("closure = %d", len(got))
+		}
+	}
+}

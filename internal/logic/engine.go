@@ -1,0 +1,453 @@
+package logic
+
+import (
+	"fmt"
+
+	"jointadmin/internal/clock"
+)
+
+// Engine is the derivation engine of one relying principal (typically the
+// coalition server P of Figure 1). Every conclusion it stores is implicitly
+// wrapped in "owner believes_t ..." exactly as the statement lists of
+// Section 4.3 / Appendix E are; the proof log records the axiom chain.
+type Engine struct {
+	owner string
+	clk   *clock.Clock
+	store *BeliefStore
+	proof *Proof
+}
+
+// NewEngine returns an engine for the named relying principal with the
+// given local clock.
+func NewEngine(owner string, clk *clock.Clock) *Engine {
+	return &Engine{
+		owner: owner,
+		clk:   clk,
+		store: NewBeliefStore(),
+		proof: NewProof(owner),
+	}
+}
+
+// Owner returns the relying principal's name.
+func (e *Engine) Owner() string { return e.owner }
+
+// Clock returns the engine's local clock.
+func (e *Engine) Clock() *clock.Clock { return e.clk }
+
+// Store exposes the belief store (read access for callers and tests).
+func (e *Engine) Store() *BeliefStore { return e.store }
+
+// Proof exposes the derivation log.
+func (e *Engine) Proof() *Proof { return e.proof }
+
+// Assume installs an initial belief (the "Initial Beliefs" of Appendix E)
+// and returns its proof-step id.
+func (e *Engine) Assume(f Formula, note string) int {
+	now := e.clk.Now()
+	id := e.proof.Append(RuleAssumption, nil, f, now, note)
+	e.store.Add(f, now, id)
+	return id
+}
+
+// Receive records receipt of a message at the current local time and
+// returns the Received fact and its step id.
+func (e *Engine) Receive(x Message, note string) (Received, int) {
+	now := e.clk.Now()
+	r := Received{Who: P(e.owner), T: At(now), X: x}
+	id := e.proof.Append(RuleReceive, nil, r, now, note)
+	e.store.Add(r, now, id)
+	return r, id
+}
+
+// IdentifyOriginator applies A10 to a received signed message using a
+// believed key certificate for the expected signer. It returns the Said
+// conclusion (about the signed content, i.e. the first conjunct of A10).
+func (e *Engine) IdentifyOriginator(key KeySpeaksFor, rcv Received, rcvStep int) (Said, int, error) {
+	keyEntry, ok := e.store.Holds(key)
+	if !ok {
+		return Said{}, 0, fmt.Errorf("originator identification: key belief %s not held", key)
+	}
+	said, saidSigned, err := A10Originator(key, rcv)
+	if err != nil {
+		return Said{}, 0, err
+	}
+	now := e.clk.Now()
+	id := e.proof.Append(RuleA10Originate, []int{keyEntry.Step, rcvStep}, saidSigned, now, "")
+	e.store.Add(saidSigned, now, id)
+	id2 := e.proof.Append(RuleA10Originate, []int{keyEntry.Step, rcvStep}, said, now, "")
+	e.store.Add(said, now, id2)
+	return said, id2, nil
+}
+
+// certificateBody unwraps an idealized certificate message down to the
+// issuer's says-formula: ⟦CA says_tCA φ⟧_K ⊢ CA says_tCA φ.
+func certificateBody(x Message) (Says, error) {
+	mf, ok := x.(MsgFormula)
+	if !ok {
+		return Says{}, fmt.Errorf("certificate body is not a formula message: %w", ErrSchemaMismatch)
+	}
+	says, ok := mf.F.(Says)
+	if !ok {
+		return Says{}, fmt.Errorf("certificate body is not a says-formula: %w", ErrSchemaMismatch)
+	}
+	return says, nil
+}
+
+// AcceptCertificateAccuracy is the composite derivation of statements
+// 12→14 (and 18→21): from "issuer said ⟦issuer says_tI φ⟧" and the
+// issuer's says-time jurisdiction, conclude "issuer says_tI φ". The chain
+// recorded is A17 (said signed content), A19 (said→says), schema
+// instantiation, A22/A23 (jurisdiction) and A9 (reduction).
+func (e *Engine) AcceptCertificateAccuracy(said Said, saidStep int) (Says, int, error) {
+	now := e.clk.Now()
+	sig, ok := said.X.(Signed)
+	if !ok {
+		return Says{}, 0, fmt.Errorf("accuracy: said message is not signed: %w", ErrSchemaMismatch)
+	}
+	inner, err := certificateBody(sig.X)
+	if err != nil {
+		return Says{}, 0, err
+	}
+	if !SubjectEqual(inner.Who, said.Who) {
+		return Says{}, 0, fmt.Errorf("accuracy: certificate names issuer %s but signer is %s: %w",
+			inner.Who, said.Who, ErrSchemaMismatch)
+	}
+
+	// A17: issuer said the unsigned content.
+	saidPlain, err := A17SaidSigned(said)
+	if err != nil {
+		return Says{}, 0, err
+	}
+	s1 := e.proof.Append(RuleA17SaidSigned, []int{saidStep}, saidPlain, now, "")
+
+	// A19: promote said to says at the receipt time.
+	saysOuter := Says{Who: said.Who, T: saidPlain.T, X: saidPlain.X}
+	s2 := e.proof.Append(RuleA19SaidSays, []int{s1}, saysOuter, now, "")
+
+	// Jurisdiction over the accuracy time of the issuer's statements.
+	sj, ok := e.store.SaysTimeJurisdictionFor(said.Who.String())
+	if !ok {
+		return Says{}, 0, fmt.Errorf("accuracy: no says-time jurisdiction held for %s", said.Who)
+	}
+	ctrl, err := sj.Instantiate(now, saysOuter)
+	if err != nil {
+		return Says{}, 0, err
+	}
+	s3 := e.proof.Append(RuleInstantiate, nil, ctrl, now,
+		"instantiate says-time jurisdiction schema")
+
+	// A22/A23: the inner says-formula holds, localized at this engine.
+	wrapped := Says{Who: saysOuter.Who, T: saysOuter.T, X: AsMessage(inner)}
+	located, err := A22Jurisdiction(Controls{Who: ctrl.Who, T: ctrl.T, F: inner}, wrapped)
+	if err != nil {
+		return Says{}, 0, err
+	}
+	rule := RuleA22Jurisdiction
+	if _, isCP := said.Who.(CompoundPrincipal); isCP {
+		rule = RuleA23JurisdictionCP
+	}
+	s4 := e.proof.Append(rule, []int{s2, s3}, located, now, "")
+
+	// A9: strip the localization.
+	reduced, err := A9Reduce(located)
+	if err != nil {
+		return Says{}, 0, err
+	}
+	s5 := e.proof.Append(RuleA9Reduce, []int{s4}, reduced, now, "")
+	e.store.Add(reduced, now, s5)
+	out, ok := reduced.(Says)
+	if !ok {
+		return Says{}, 0, fmt.Errorf("accuracy: reduction produced %T, want Says", reduced)
+	}
+	return out, s5, nil
+}
+
+// AcceptKeyCertificate completes Step 1 of the authorization protocol for
+// one identity certificate: from "CA says_tCA (K ⇒ [tb,te],CA Q)" and the
+// CA's key jurisdiction, conclude "K ⇒ [tb,te],CA Q" (statement 16).
+func (e *Engine) AcceptKeyCertificate(says Says, saysStep int) (KeySpeaksFor, int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return KeySpeaksFor{}, 0, fmt.Errorf("key certificate: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	ksf, ok := body.F.(KeySpeaksFor)
+	if !ok {
+		return KeySpeaksFor{}, 0, fmt.Errorf("key certificate: body is not K ⇒ Q: %w", ErrSchemaMismatch)
+	}
+	ca, ok := says.Who.(Principal)
+	if !ok {
+		return KeySpeaksFor{}, 0, fmt.Errorf("key certificate: issuer is not a simple CA: %w", ErrSchemaMismatch)
+	}
+	kj, ok := e.store.KeyJurisdictionFor(ca.Name)
+	if !ok {
+		return KeySpeaksFor{}, 0, fmt.Errorf("key certificate: no key jurisdiction held for %s", ca.Name)
+	}
+	if e.store.KeyRevoked(ksf.K, now) {
+		return KeySpeaksFor{}, 0, fmt.Errorf("key certificate: key %s revoked as of %s", ksf.K, now)
+	}
+	ctrl := kj.Instantiate(says.T, ksf)
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrl, now,
+		"instantiate key-jurisdiction schema (statement 15)")
+	located, err := A22Jurisdiction(ctrl, says)
+	if err != nil {
+		return KeySpeaksFor{}, 0, err
+	}
+	s2 := e.proof.Append(RuleA22Jurisdiction, []int{saysStep, s1}, located, now, "")
+	// A3-style acceptance: the engine believes the bare formula.
+	s3 := e.proof.Append("A3 (localized belief)", []int{s2}, ksf, now, "statement 16")
+	e.store.Add(ksf, now, s3)
+	return ksf, s3, nil
+}
+
+// AcceptMembershipCertificate completes Step 2 for an attribute or
+// threshold attribute certificate: from "AA says_tAA (W ⇒ [tb,te],AA G)"
+// and AA's membership jurisdiction, conclude "W ⇒ [tb,te],AA G" (statement
+// 22). The conclusion is refused if the membership is already revoked as of
+// the current time (believe-until-revoked).
+func (e *Engine) AcceptMembershipCertificate(says Says, saysStep int) (MemberOf, int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return MemberOf{}, 0, fmt.Errorf("attribute certificate: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	mem, ok := body.F.(MemberOf)
+	if !ok {
+		return MemberOf{}, 0, fmt.Errorf("attribute certificate: body is not W ⇒ G: %w", ErrSchemaMismatch)
+	}
+	mj, ok := e.store.MembershipJurisdictionFor(says.Who.String())
+	if !ok {
+		return MemberOf{}, 0, fmt.Errorf("attribute certificate: no membership jurisdiction held for %s", says.Who)
+	}
+	if e.store.Revoked(mem.Who, mem.G, now) {
+		return MemberOf{}, 0, fmt.Errorf("attribute certificate: membership of %s in %s revoked as of %s",
+			mem.Who, mem.G.Name, now)
+	}
+	ctrl := mj.Instantiate(says.T, mem)
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrl, now,
+		"instantiate membership-jurisdiction schema")
+	located, err := A22Jurisdiction(ctrl, says)
+	if err != nil {
+		return MemberOf{}, 0, err
+	}
+	rule := RuleA24GroupJuris
+	if _, isCP := says.Who.(CompoundPrincipal); isCP {
+		rule = RuleA29GroupJurisCP
+	}
+	s2 := e.proof.Append(rule, []int{saysStep, s1}, located, now, "")
+	s3 := e.proof.Append("A3 (localized belief)", []int{s2}, mem, now, "statement 22")
+	e.store.Add(mem, now, s3)
+	return mem, s3, nil
+}
+
+// AcceptGroupLinkCertificate accepts a privilege-inheritance certificate:
+// from "AA says (G1 ⇒ G2)" and AA's membership jurisdiction (which covers
+// group relations generally), conclude "G1 ⇒ G2".
+func (e *Engine) AcceptGroupLinkCertificate(says Says, saysStep int) (GroupSpeaksFor, int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return GroupSpeaksFor{}, 0, fmt.Errorf("group link: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	link, ok := body.F.(GroupSpeaksFor)
+	if !ok {
+		return GroupSpeaksFor{}, 0, fmt.Errorf("group link: body is not G1 ⇒ G2: %w", ErrSchemaMismatch)
+	}
+	mj, ok := e.store.MembershipJurisdictionFor(says.Who.String())
+	if !ok {
+		return GroupSpeaksFor{}, 0, fmt.Errorf("group link: no membership jurisdiction held for %s", says.Who)
+	}
+	ctrl := Controls{Who: mj.Authority, T: says.T, F: link}
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrl, now,
+		"instantiate membership-jurisdiction schema over group link")
+	located, err := A22Jurisdiction(ctrl, says)
+	if err != nil {
+		return GroupSpeaksFor{}, 0, err
+	}
+	s2 := e.proof.Append(RuleA24GroupJuris, []int{saysStep, s1}, located, now, "")
+	s3 := e.proof.Append("A3 (localized belief)", []int{s2}, link, now, "privilege inheritance link")
+	e.store.Add(link, now, s3)
+	return link, s3, nil
+}
+
+// VerifyCertificate runs the full chain receive → A10 → accuracy → accept
+// for an idealized certificate message, dispatching on the certificate
+// body (key certificate vs membership certificate). issuerKey is the
+// believed verification key of the issuer.
+func (e *Engine) VerifyCertificate(cert Signed, issuerKey KeySpeaksFor) (Formula, int, error) {
+	rcv, rs := e.Receive(cert, "certificate presented")
+	said, ss, err := e.IdentifyOriginator(issuerKey, rcv, rs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("verify certificate: %w", err)
+	}
+	// Re-attach the signature for the accuracy step (A10's second
+	// conjunct), which expects the signed form.
+	saidSigned := Said{Who: said.Who, T: said.T, X: cert}
+	says, as, err := e.AcceptCertificateAccuracy(saidSigned, ss)
+	if err != nil {
+		return nil, 0, fmt.Errorf("verify certificate: %w", err)
+	}
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return nil, 0, fmt.Errorf("verify certificate: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	switch body.F.(type) {
+	case KeySpeaksFor:
+		f, id, err := e.AcceptKeyCertificate(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return f, id, nil
+	case MemberOf:
+		f, id, err := e.AcceptMembershipCertificate(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return f, id, nil
+	case GroupSpeaksFor:
+		f, id, err := e.AcceptGroupLinkCertificate(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return f, id, nil
+	case Not:
+		id, err := e.ProcessRevocation(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return body.F, id, nil
+	default:
+		return nil, 0, fmt.Errorf("verify certificate: unsupported body %T: %w", body.F, ErrSchemaMismatch)
+	}
+}
+
+// VerifySignedRequest runs Step 3 for one signed request component: from a
+// received ⟦Q says_tQ X⟧_KQ and the believed key certificate for Q,
+// conclude "Q says_tQ X" (statements 23–24).
+func (e *Engine) VerifySignedRequest(req Signed, signerKey KeySpeaksFor) (Says, int, error) {
+	rcv, rs := e.Receive(req, "signed request component")
+	said, ss, err := e.IdentifyOriginator(signerKey, rcv, rs)
+	if err != nil {
+		return Says{}, 0, fmt.Errorf("verify request: %w", err)
+	}
+	inner, err := certificateBody(said.X)
+	if err != nil {
+		return Says{}, 0, fmt.Errorf("verify request: %w", err)
+	}
+	if !SubjectEqual(inner.Who, said.Who) {
+		return Says{}, 0, fmt.Errorf("verify request: request claims speaker %s but signature identifies %s",
+			inner.Who, said.Who)
+	}
+	now := e.clk.Now()
+	id := e.proof.Append(RuleA19SaidSays, []int{ss}, inner, now, "request utterance accepted")
+	e.store.Add(inner, now, id)
+	// Also record the signed form of the utterance, which A38 consumes to
+	// check each co-signer used its bound key.
+	signedSays := Says{Who: inner.Who, T: inner.T, X: req}
+	id2 := e.proof.Append(RuleA19SaidSays, []int{ss}, signedSays, now, "signed utterance retained for A38")
+	e.store.Add(signedSays, now, id2)
+	return signedSays, id2, nil
+}
+
+// ConcludeGroupSays applies the appropriate access-control axiom
+// (A34–A38) given an established membership and the verified utterances,
+// producing "G says X" (statement 25). Revocation is re-checked at
+// conclusion time.
+func (e *Engine) ConcludeGroupSays(mem MemberOf, memStep int, utterances []Says, utterSteps []int) (GroupSays, int, error) {
+	now := e.clk.Now()
+	if e.store.Revoked(mem.Who, mem.G, now) {
+		return GroupSays{}, 0, fmt.Errorf("group says: membership of %s in %s revoked as of %s",
+			mem.Who, mem.G.Name, now)
+	}
+	var (
+		gs   GroupSays
+		rule string
+		err  error
+	)
+	switch who := mem.Who.(type) {
+	case Principal:
+		if len(utterances) == 0 {
+			return GroupSays{}, 0, fmt.Errorf("group says: no utterance supplied: %w", ErrSchemaMismatch)
+		}
+		if who.IsBound() {
+			key, ok := e.store.KeyFor(who.Name, now)
+			if !ok {
+				return GroupSays{}, 0, fmt.Errorf("group says: no key belief for bound member %s", who.Name)
+			}
+			gs, err = A35MemberSaysKeyBound(mem, key, utterances[0])
+			rule = RuleA35GroupSaysKey
+		} else {
+			gs, err = A34MemberSays(mem, utterances[0])
+			rule = RuleA34GroupSays
+		}
+	case CompoundPrincipal:
+		switch {
+		case who.IsThreshold():
+			gs, err = A38Threshold(mem, utterances, now)
+			rule = RuleA38Threshold
+		case who.Key() != "":
+			if len(utterances) == 0 {
+				return GroupSays{}, 0, fmt.Errorf("group says: no utterance supplied: %w", ErrSchemaMismatch)
+			}
+			key, ok := e.store.KeyFor(CP(who.Members()...).String(), now)
+			if !ok {
+				return GroupSays{}, 0, fmt.Errorf("group says: no key belief for compound principal %s", who)
+			}
+			gs, err = A37CompoundSaysKeyBound(mem, key, utterances[0])
+			rule = RuleA37GroupSaysCPKey
+		default:
+			if len(utterances) == 0 {
+				return GroupSays{}, 0, fmt.Errorf("group says: no utterance supplied: %w", ErrSchemaMismatch)
+			}
+			gs, err = A36CompoundSays(mem, utterances[0])
+			rule = RuleA36GroupSaysCP
+		}
+	default:
+		return GroupSays{}, 0, fmt.Errorf("group says: unsupported subject %T: %w", mem.Who, ErrSchemaMismatch)
+	}
+	if err != nil {
+		return GroupSays{}, 0, err
+	}
+	premises := append([]int{memStep}, utterSteps...)
+	id := e.proof.Append(rule, premises, gs, now, "statement 25: G says X")
+	e.store.Add(gs, now, id)
+	return gs, id, nil
+}
+
+// ProcessRevocation handles a verified revocation statement "RA says_tRA
+// ¬(W ⇒_t' G)": it records the negative belief so that the membership can
+// no longer be derived for times ≥ now (statement 26 and the
+// believe-until-revoked discussion).
+func (e *Engine) ProcessRevocation(says Says, saysStep int) (int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return 0, fmt.Errorf("revocation: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	neg, ok := body.F.(Not)
+	if !ok {
+		return 0, fmt.Errorf("revocation: body is not a negation: %w", ErrSchemaMismatch)
+	}
+	mem, ok := neg.F.(MemberOf)
+	if !ok {
+		return 0, fmt.Errorf("revocation: negated formula is not a membership: %w", ErrSchemaMismatch)
+	}
+	mj, ok := e.store.MembershipJurisdictionFor(says.Who.String())
+	if !ok {
+		return 0, fmt.Errorf("revocation: no membership jurisdiction held for %s", says.Who)
+	}
+	ctrl := mj.Instantiate(says.T, mem)
+	ctrlNeg := Controls{Who: ctrl.Who, T: ctrl.T, F: neg}
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrlNeg, now,
+		"instantiate membership-jurisdiction schema over negation")
+	located, err := A22Jurisdiction(ctrlNeg, says)
+	if err != nil {
+		return 0, err
+	}
+	s2 := e.proof.Append(RuleA22Jurisdiction, []int{saysStep, s1}, located, now, "")
+	id := e.proof.Append(RuleRevocation, []int{s2}, neg, now,
+		fmt.Sprintf("membership of %s in %s revoked effective %s", mem.Who, mem.G.Name, now))
+	e.store.Add(neg, now, id)
+	e.store.Revoke(mem.Who, mem.G, now, id)
+	return id, nil
+}

@@ -1,0 +1,152 @@
+package logic
+
+import "strings"
+
+// Message is the message sort M_Γ of Appendix A: formulas are messages
+// (M1), primitive terms are messages (M2), and messages are closed under
+// n-ary functions including signing X_{K^-1} and encryption {X}_K (M3).
+type Message interface {
+	messageNode()
+	// String returns the canonical form of the message.
+	String() string
+}
+
+// Const is a primitive data constant (object names, operation names such as
+// "write", nonces, ...).
+type Const struct {
+	Value string
+}
+
+var _ Message = Const{}
+
+func (Const) messageNode() {}
+
+// String renders the constant quoted to keep canonical forms injective.
+func (c Const) String() string { return "“" + c.Value + "”" }
+
+// Tuple is the n-ary message (X1, ..., Xn).
+type Tuple struct {
+	Items []Message
+}
+
+var _ Message = Tuple{}
+
+func (Tuple) messageNode() {}
+
+// NewTuple builds a tuple message from its components.
+func NewTuple(items ...Message) Tuple {
+	xs := make([]Message, len(items))
+	copy(xs, items)
+	return Tuple{Items: xs}
+}
+
+// String renders "(X1, X2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Items))
+	for i, x := range t.Items {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Signed is the digital signature term X_{K^-1}: message X signed with the
+// private counterpart of public key K.
+type Signed struct {
+	X Message
+	K KeyID
+}
+
+var _ Message = Signed{}
+
+func (Signed) messageNode() {}
+
+// Sign wraps x in a signature by K^-1.
+func Sign(x Message, k KeyID) Signed { return Signed{X: x, K: k} }
+
+// String renders "⟦X⟧K⁻¹" with the key name.
+func (s Signed) String() string { return "⟦" + s.X.String() + "⟧" + string(s.K) + "⁻¹" }
+
+// Encrypted is {X}_K: message X encrypted under public key K (readable only
+// with K^-1, axiom A11/A13).
+type Encrypted struct {
+	X Message
+	K KeyID
+}
+
+var _ Message = Encrypted{}
+
+func (Encrypted) messageNode() {}
+
+// Encrypt wraps x in an encryption under k.
+func Encrypt(x Message, k KeyID) Encrypted { return Encrypted{X: x, K: k} }
+
+// String renders "{X}K".
+func (e Encrypted) String() string { return "{" + e.X.String() + "}" + string(e.K) }
+
+// MsgFormula embeds a formula as a message (condition M1) — certificates
+// are exactly signed formula-messages.
+type MsgFormula struct {
+	F Formula
+}
+
+var _ Message = MsgFormula{}
+
+func (MsgFormula) messageNode() {}
+
+// AsMessage wraps a formula as a message.
+func AsMessage(f Formula) MsgFormula { return MsgFormula{F: f} }
+
+// String renders the inner formula.
+func (m MsgFormula) String() string { return m.F.String() }
+
+// MessageEqual reports structural equality of two messages.
+func MessageEqual(a, b Message) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// Submessages returns the set of messages derivable from m by reading
+// submessages using the private keys in keys — the submsgs_K(M) closure of
+// Appendix C. Signed contents are readable with or without the verification
+// key (A12/A14); encrypted contents require the decryption key K^-1, which
+// we model as possession of the KeyID in keys.
+func Submessages(m Message, keys map[KeyID]bool) []Message {
+	seen := make(map[string]bool)
+	var out []Message
+	var walk func(Message)
+	walk = func(x Message) {
+		key := x.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, x)
+		switch v := x.(type) {
+		case Tuple:
+			for _, item := range v.Items {
+				walk(item)
+			}
+		case Signed:
+			walk(v.X)
+		case Encrypted:
+			if keys[v.K] {
+				walk(v.X)
+			}
+		}
+	}
+	walk(m)
+	return out
+}
+
+// ContainsSubmessage reports whether target is derivable from m given keys.
+func ContainsSubmessage(m Message, target Message, keys map[KeyID]bool) bool {
+	want := target.String()
+	for _, sub := range Submessages(m, keys) {
+		if sub.String() == want {
+			return true
+		}
+	}
+	return false
+}

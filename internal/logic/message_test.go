@@ -1,0 +1,107 @@
+package logic
+
+import "testing"
+
+func TestMessageCanonicalForms(t *testing.T) {
+	m := NewTuple(Const{Value: "write"}, Const{Value: "O"})
+	if got := m.String(); got != "(“write”, “O”)" {
+		t.Errorf("tuple form = %q", got)
+	}
+	s := Sign(Const{Value: "x"}, "K1")
+	if got := s.String(); got != "⟦“x”⟧K1⁻¹" {
+		t.Errorf("signed form = %q", got)
+	}
+	e := Encrypt(Const{Value: "x"}, "K1")
+	if got := e.String(); got != "{“x”}K1" {
+		t.Errorf("encrypted form = %q", got)
+	}
+}
+
+func TestMessageEqual(t *testing.T) {
+	a := Sign(NewTuple(Const{Value: "a"}), "K")
+	b := Sign(NewTuple(Const{Value: "a"}), "K")
+	c := Sign(NewTuple(Const{Value: "a"}), "K2")
+	if !MessageEqual(a, b) {
+		t.Error("identical messages should be equal")
+	}
+	if MessageEqual(a, c) {
+		t.Error("different signing keys should differ")
+	}
+	if MessageEqual(nil, a) {
+		t.Error("nil vs message should differ")
+	}
+}
+
+func TestSubmessagesSignedAlwaysReadable(t *testing.T) {
+	// A12/A14: signed content is readable without the key.
+	inner := Const{Value: "secret"}
+	m := Sign(inner, "K")
+	if !ContainsSubmessage(m, inner, nil) {
+		t.Error("signed content should be readable without keys")
+	}
+}
+
+func TestSubmessagesEncryptionNeedsKey(t *testing.T) {
+	inner := Const{Value: "secret"}
+	m := Encrypt(inner, "K")
+	if ContainsSubmessage(m, inner, nil) {
+		t.Error("encrypted content readable without key")
+	}
+	if !ContainsSubmessage(m, inner, map[KeyID]bool{"K": true}) {
+		t.Error("encrypted content unreadable with key")
+	}
+	if ContainsSubmessage(m, inner, map[KeyID]bool{"K2": true}) {
+		t.Error("wrong key should not decrypt")
+	}
+}
+
+func TestSubmessagesNested(t *testing.T) {
+	deep := Const{Value: "deep"}
+	m := NewTuple(
+		Sign(Encrypt(NewTuple(deep), "Ka"), "Kb"),
+		Const{Value: "top"},
+	)
+	keys := map[KeyID]bool{"Ka": true}
+	subs := Submessages(m, keys)
+	found := false
+	for _, s := range subs {
+		if MessageEqual(s, deep) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nested submessage not derived")
+	}
+	// Without Ka the deep constant must stay hidden.
+	if ContainsSubmessage(m, deep, nil) {
+		t.Error("deep constant leaked without decryption key")
+	}
+}
+
+func TestSubmessagesNoDuplicates(t *testing.T) {
+	c := Const{Value: "x"}
+	m := NewTuple(c, c, c)
+	subs := Submessages(m, nil)
+	count := 0
+	for _, s := range subs {
+		if MessageEqual(s, c) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("duplicate submessages: %d copies", count)
+	}
+}
+
+func TestFormulaAsMessage(t *testing.T) {
+	f := MemberOf{Who: P("U1"), T: During(0, 10), G: G("G_read")}
+	m := AsMessage(f)
+	if m.String() != f.String() {
+		t.Error("formula message should render as the formula")
+	}
+	// A certificate is a signed formula message (M1 + M3).
+	cert := Sign(m, "KAA")
+	if !ContainsSubmessage(cert, m, nil) {
+		t.Error("certificate body should be a readable submessage")
+	}
+}

@@ -1,0 +1,116 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"jointadmin/internal/clock"
+)
+
+// Step is one line of a derivation: a formula concluded from premises by a
+// named inference rule or axiom. Premises refer to earlier step IDs.
+type Step struct {
+	ID         int
+	Rule       string
+	Premises   []int
+	Conclusion Formula
+	At         clock.Time
+	Note       string
+}
+
+// String renders the step as a numbered proof line.
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3d. %s", s.ID, s.Conclusion.String())
+	fmt.Fprintf(&b, "   [%s", s.Rule)
+	if len(s.Premises) > 0 {
+		fmt.Fprintf(&b, " from %v", s.Premises)
+	}
+	b.WriteString("]")
+	if s.Note != "" {
+		b.WriteString(" — ")
+		b.WriteString(s.Note)
+	}
+	return b.String()
+}
+
+// Proof is an append-only derivation log. The engine threads every rule
+// application through a Proof so that authorization decisions carry a full
+// machine-checkable trace (the audit requirement of Section 2).
+type Proof struct {
+	owner string
+	steps []Step
+}
+
+// NewProof returns an empty proof owned by (derived at) the named
+// principal, typically the verifying server P.
+func NewProof(owner string) *Proof {
+	return &Proof{owner: owner}
+}
+
+// Owner returns the deriving principal's name.
+func (p *Proof) Owner() string { return p.owner }
+
+// Append records a step and returns its ID (1-based, matching the paper's
+// numbered statements).
+func (p *Proof) Append(rule string, premises []int, conclusion Formula, at clock.Time, note string) int {
+	id := len(p.steps) + 1
+	ps := make([]int, len(premises))
+	copy(ps, premises)
+	p.steps = append(p.steps, Step{
+		ID:         id,
+		Rule:       rule,
+		Premises:   ps,
+		Conclusion: conclusion,
+		At:         at,
+		Note:       note,
+	})
+	return id
+}
+
+// Steps returns a copy of the proof lines.
+func (p *Proof) Steps() []Step {
+	out := make([]Step, len(p.steps))
+	copy(out, p.steps)
+	return out
+}
+
+// Step returns the step with the given ID and whether it exists.
+func (p *Proof) Step(id int) (Step, bool) {
+	if id < 1 || id > len(p.steps) {
+		return Step{}, false
+	}
+	return p.steps[id-1], true
+}
+
+// Len returns the number of steps.
+func (p *Proof) Len() int { return len(p.steps) }
+
+// String renders the whole derivation, each conclusion implicitly wrapped
+// in "owner believes" as in the paper's statement lists.
+func (p *Proof) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Derivation at %s:\n", p.owner)
+	for _, s := range p.steps {
+		b.WriteString("  ")
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Check verifies the internal consistency of the proof: premise IDs must
+// refer to strictly earlier steps and every step must have a conclusion.
+func (p *Proof) Check() error {
+	for _, s := range p.steps {
+		if s.Conclusion == nil {
+			return fmt.Errorf("step %d: nil conclusion", s.ID)
+		}
+		for _, pr := range s.Premises {
+			if pr <= 0 || pr >= s.ID {
+				return fmt.Errorf("step %d: premise %d is not an earlier step", s.ID, pr)
+			}
+		}
+	}
+	return nil
+}

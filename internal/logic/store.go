@@ -1,0 +1,316 @@
+package logic
+
+import (
+	"sync"
+
+	"jointadmin/internal/clock"
+)
+
+// Entry is one belief held by a principal: a formula, the time it was
+// established on the believer's clock, and the proof step that produced it.
+type Entry struct {
+	F    Formula
+	At   clock.Time
+	Step int
+}
+
+// Revocation records a negative belief ¬(W ⇒ G) effective from a time: the
+// "believe until revoked" condition of Section 4.3. After EffectiveAt, the
+// membership can no longer be (re-)derived.
+type Revocation struct {
+	Who         Subject
+	G           Group
+	EffectiveAt clock.Time
+	Step        int
+}
+
+// BeliefStore is the set of formulas a principal currently believes,
+// indexed by canonical form. It is safe for concurrent use (a coalition
+// server verifies requests from several clients at once).
+type BeliefStore struct {
+	mu          sync.RWMutex
+	entries     []Entry
+	index       map[string]int // canonical form -> entries position
+	revoked     []Revocation
+	revokedKeys map[KeyID]clock.Time // key id -> earliest effective time
+}
+
+// NewBeliefStore returns an empty store.
+func NewBeliefStore() *BeliefStore {
+	return &BeliefStore{
+		index:       make(map[string]int),
+		revokedKeys: make(map[KeyID]clock.Time),
+	}
+}
+
+// RevokeKey records the negative belief ¬(k ⇒ P) effective at t: identity
+// revocation (Stubblebine–Wright). KeyFor no longer returns the key at or
+// after t.
+func (b *BeliefStore) RevokeKey(k KeyID, t clock.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.revokedKeys[k]; !ok || t < old {
+		b.revokedKeys[k] = t
+	}
+}
+
+// KeyRevoked reports whether key k is revoked as of time t.
+func (b *BeliefStore) KeyRevoked(k KeyID, t clock.Time) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	at, ok := b.revokedKeys[k]
+	return ok && t >= at
+}
+
+// Add records the belief f established at time at by proof step step. If an
+// identical formula is already held, the earlier entry is kept and its
+// position returned.
+func (b *BeliefStore) Add(f Formula, at clock.Time, step int) Entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := f.String()
+	if pos, ok := b.index[key]; ok {
+		return b.entries[pos]
+	}
+	e := Entry{F: f, At: at, Step: step}
+	b.index[key] = len(b.entries)
+	b.entries = append(b.entries, e)
+	return e
+}
+
+// Holds reports whether the exact formula is believed, and returns its
+// entry.
+func (b *BeliefStore) Holds(f Formula) (Entry, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	pos, ok := b.index[f.String()]
+	if !ok {
+		return Entry{}, false
+	}
+	return b.entries[pos], true
+}
+
+// Len returns the number of distinct beliefs.
+func (b *BeliefStore) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
+
+// All returns a copy of every belief entry, in insertion order.
+func (b *BeliefStore) All() []Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// KeyFor returns a believed KeySpeaksFor formula whose subject's name
+// matches who and whose validity covers t, if one exists. Used by Step 1 of
+// the authorization protocol to locate statements like statement 16:
+// "K_User_D1 ⇒ [tb,te],CA1 User_D1".
+func (b *BeliefStore) KeyFor(who string, t clock.Time) (KeySpeaksFor, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, e := range b.entries {
+		ks, ok := e.F.(KeySpeaksFor)
+		if !ok {
+			continue
+		}
+		if !ks.T.Covers(t) {
+			continue
+		}
+		if at, revoked := b.revokedKeys[ks.K]; revoked && t >= at {
+			continue
+		}
+		switch s := ks.Who.(type) {
+		case Principal:
+			if s.Name == who {
+				return ks, true
+			}
+		case CompoundPrincipal:
+			if s.String() == who {
+				return ks, true
+			}
+		}
+	}
+	return KeySpeaksFor{}, false
+}
+
+// MembershipFor returns a believed MemberOf formula for group g whose
+// validity covers t, if one exists and it has not been revoked effective at
+// or before t.
+func (b *BeliefStore) MembershipFor(g Group, t clock.Time) (MemberOf, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, e := range b.entries {
+		m, ok := e.F.(MemberOf)
+		if !ok || m.G != g {
+			continue
+		}
+		if !m.T.Covers(t) {
+			continue
+		}
+		if b.revokedLocked(m.Who, g, t) {
+			continue
+		}
+		return m, true
+	}
+	return MemberOf{}, false
+}
+
+// GroupLinksFrom returns the supergroups that sub speaks for at time t
+// (privilege inheritance, one hop; callers compute the closure).
+func (b *BeliefStore) GroupLinksFrom(sub Group, t clock.Time) []Group {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Group
+	for _, e := range b.entries {
+		l, ok := e.F.(GroupSpeaksFor)
+		if !ok || l.Sub != sub {
+			continue
+		}
+		if !l.T.Covers(t) {
+			continue
+		}
+		out = append(out, l.Sup)
+	}
+	return out
+}
+
+// EffectiveGroups returns the inheritance closure of g at time t: g itself
+// plus every group reachable through GroupSpeaksFor links.
+func (b *BeliefStore) EffectiveGroups(g Group, t clock.Time) []Group {
+	seen := map[string]bool{g.Name: true}
+	out := []Group{g}
+	for i := 0; i < len(out); i++ {
+		for _, sup := range b.GroupLinksFrom(out[i], t) {
+			if !seen[sup.Name] {
+				seen[sup.Name] = true
+				out = append(out, sup)
+			}
+		}
+	}
+	return out
+}
+
+// Schemas returns the jurisdiction schema beliefs matching the predicate.
+func (b *BeliefStore) Schemas(match func(Formula) bool) []Formula {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Formula
+	for _, e := range b.entries {
+		switch e.F.(type) {
+		case KeyJurisdiction, MembershipJurisdiction, SaysTimeJurisdiction:
+			if match == nil || match(e.F) {
+				out = append(out, e.F)
+			}
+		}
+	}
+	return out
+}
+
+// KeyJurisdictionFor returns the key-jurisdiction schema held for the named
+// CA, if any.
+func (b *BeliefStore) KeyJurisdictionFor(ca string) (KeyJurisdiction, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, e := range b.entries {
+		if kj, ok := e.F.(KeyJurisdiction); ok && kj.CA.Name == ca {
+			return kj, true
+		}
+	}
+	return KeyJurisdiction{}, false
+}
+
+// MembershipJurisdictionFor returns the membership-jurisdiction schema held
+// for the named authority, if any.
+func (b *BeliefStore) MembershipJurisdictionFor(auth string) (MembershipJurisdiction, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, e := range b.entries {
+		if mj, ok := e.F.(MembershipJurisdiction); ok && mj.AuthorityName == auth {
+			return mj, true
+		}
+	}
+	return MembershipJurisdiction{}, false
+}
+
+// SaysTimeJurisdictionFor returns the says-time-jurisdiction schema for the
+// named authority, if any.
+func (b *BeliefStore) SaysTimeJurisdictionFor(auth string) (SaysTimeJurisdiction, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, e := range b.entries {
+		if sj, ok := e.F.(SaysTimeJurisdiction); ok && sj.Authority.String() == auth {
+			return sj, true
+		}
+	}
+	return SaysTimeJurisdiction{}, false
+}
+
+// Revoke records the negative belief ¬(who ⇒ g) effective at t (with upper
+// bound infinity, per the paper's footnote 2).
+func (b *BeliefStore) Revoke(who Subject, g Group, t clock.Time, step int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.revoked = append(b.revoked, Revocation{Who: who, G: g, EffectiveAt: t, Step: step})
+}
+
+// Revoked reports whether membership of who in g is revoked as of time t.
+// Threshold and key decorations on compound principals are ignored when
+// matching: revoking CP(2,3) ⇒ G also blocks the plain CP.
+func (b *BeliefStore) Revoked(who Subject, g Group, t clock.Time) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.revokedLocked(who, g, t)
+}
+
+func (b *BeliefStore) revokedLocked(who Subject, g Group, t clock.Time) bool {
+	for _, r := range b.revoked {
+		if r.G != g || t < r.EffectiveAt {
+			continue
+		}
+		if subjectsAlias(r.Who, who) {
+			return true
+		}
+	}
+	return false
+}
+
+// Revocations returns a copy of all recorded revocations.
+func (b *BeliefStore) Revocations() []Revocation {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Revocation, len(b.revoked))
+	copy(out, b.revoked)
+	return out
+}
+
+// subjectsAlias reports whether two subjects denote the same principal or
+// compound-principal member set, ignoring threshold and key decorations.
+func subjectsAlias(a, b Subject) bool {
+	switch av := a.(type) {
+	case Principal:
+		bv, ok := b.(Principal)
+		return ok && av.Name == bv.Name
+	case CompoundPrincipal:
+		bv, ok := b.(CompoundPrincipal)
+		if !ok {
+			return false
+		}
+		am, bm := av.Members(), bv.Members()
+		if len(am) != len(bm) {
+			return false
+		}
+		for i := range am {
+			if am[i].Name != bm[i].Name {
+				return false
+			}
+		}
+		return true
+	default:
+		return SubjectEqual(a, b)
+	}
+}

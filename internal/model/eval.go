@@ -1,0 +1,463 @@
+package model
+
+import (
+	"fmt"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/logic"
+)
+
+// Eval implements the truth conditions of Appendix C for the formula
+// fragment the axioms range over: (r, t) ⊨ φ. Formulas outside the
+// supported fragment return an error rather than a silent false.
+//
+// Believes is evaluated as localized truth ("φ at_P t"): the generator
+// produces a single run per check, so the possibility relation ~P has a
+// single equivalence class and the Kripke clause collapses to local truth.
+func Eval(r *Run, t clock.Time, f logic.Formula) (bool, error) {
+	switch v := f.(type) {
+	case logic.Prop:
+		return false, fmt.Errorf("eval: uninterpreted proposition %q", v.Name)
+	case logic.TimeLE:
+		return v.Holds(), nil
+	case logic.Not:
+		b, err := Eval(r, t, v.F)
+		if err != nil {
+			return false, err
+		}
+		return !b, nil
+	case logic.And:
+		l, err := Eval(r, t, v.L)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return false, nil
+		}
+		return Eval(r, t, v.R)
+	case logic.Implies:
+		l, err := Eval(r, t, v.L)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return Eval(r, t, v.R)
+	case logic.Received:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalReceived(r, tt, v)
+		})
+	case logic.Says:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalSays(r, tt, v.Who, v.X)
+		})
+	case logic.Said:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalSaid(r, tt, v.Who, v.X)
+		})
+	case logic.Has:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			tr, ok := r.Traces[v.Who.String()]
+			if !ok {
+				return false, nil
+			}
+			return tr.HasKey(v.K, tt), nil
+		})
+	case logic.Fresh:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalFresh(r, tt, v.X)
+		})
+	case logic.KeySpeaksFor:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalKeySpeaksFor(r, tt, v)
+		})
+	case logic.MemberOf:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalMemberOf(r, tt, v)
+		})
+	case logic.GroupSays:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalGroupSays(r, tt, v.G, v.X)
+		})
+	case logic.Controls:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return evalControls(r, tt, v)
+		})
+	case logic.AtFormula:
+		// Synchronized clocks: Start == End == the named time(s).
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return Eval(r, tt, v.F)
+		})
+	case logic.Believes:
+		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
+			return Eval(r, tt, v.F)
+		})
+	default:
+		return false, fmt.Errorf("eval: unsupported formula %T", f)
+	}
+}
+
+// evalQuant applies the interval clauses: [t1,t2] requires truth at every
+// covered time, ⟨t1,t2⟩ at some covered time, a point at exactly that time.
+func evalQuant(r *Run, now clock.Time, ts logic.TimeSpec, at func(clock.Time) (bool, error)) (bool, error) {
+	switch ts.Kind {
+	case logic.AtTime:
+		if ts.Time() > now {
+			return false, nil // only formulas about the past can be true
+		}
+		return at(ts.Time())
+	case logic.AllOf:
+		if ts.End() > now {
+			return false, nil
+		}
+		for t := ts.Time(); t <= ts.End(); t++ {
+			ok, err := at(t)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case logic.SomeOf:
+		for t := ts.Time(); t <= ts.End() && t <= now; t++ {
+			ok, err := at(t)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("eval: invalid time spec %v", ts)
+	}
+}
+
+// evalReceived: X ∈ submsgs_{Keyset(t)}(Msgs(r, t)) with a receive by t.
+func evalReceived(r *Run, t clock.Time, v logic.Received) (bool, error) {
+	tr, ok := r.Traces[v.Who.String()]
+	if !ok {
+		return false, nil
+	}
+	keys := tr.Keyset(t)
+	for _, m := range tr.Msgs(t) {
+		if logic.ContainsSubmessage(m, v.X, keys) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalSays: a send event at exactly t whose submessage closure (under the
+// keys held at t) contains X.
+func evalSays(r *Run, t clock.Time, who logic.Subject, x logic.Message) (bool, error) {
+	tr, ok := r.Traces[who.String()]
+	if !ok {
+		return false, nil
+	}
+	keys := tr.Keyset(t)
+	for _, e := range tr.Events {
+		if e.Kind == EventSend && e.At == t && logic.ContainsSubmessage(e.Msg, x, keys) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalSaid: some t” ≤ t with says.
+func evalSaid(r *Run, t clock.Time, who logic.Subject, x logic.Message) (bool, error) {
+	tr, ok := r.Traces[who.String()]
+	if !ok {
+		return false, nil
+	}
+	for _, e := range tr.Events {
+		if e.Kind != EventSend || e.At > t {
+			continue
+		}
+		if logic.ContainsSubmessage(e.Msg, x, tr.Keyset(e.At)) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalFresh: no principal said X at or before t.
+func evalFresh(r *Run, t clock.Time, x logic.Message) (bool, error) {
+	for name := range r.Traces {
+		said, err := evalSaid(r, t, namedSubject(r, name), x)
+		if err != nil {
+			return false, err
+		}
+		if said {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalKeySpeaksFor: "K ⇒_{t,Q} W iff Q received_t X_{K^-1} implies W
+// said_t X" — quantified over every receiver Q and every signed submessage
+// under K in the run up to t.
+func evalKeySpeaksFor(r *Run, t clock.Time, v logic.KeySpeaksFor) (bool, error) {
+	subjectName := v.Who.String()
+	// Threshold keys identify the plain compound principal (variant c of
+	// the truth conditions): the sayer is the CP trace.
+	if cp, ok := v.Who.(logic.CompoundPrincipal); ok && cp.IsThreshold() {
+		subjectName = logic.CP(cp.Members()...).String()
+	}
+	for _, receiver := range r.Names() {
+		tr := r.Traces[receiver]
+		keys := tr.Keyset(t)
+		for _, m := range tr.Msgs(t) {
+			for _, sub := range logic.Submessages(m, keys) {
+				sig, ok := sub.(logic.Signed)
+				if !ok || sig.K != v.K {
+					continue
+				}
+				said, err := evalSaid(r, t, namedSubject(r, subjectName), sig.X)
+				if err != nil {
+					return false, err
+				}
+				if !said {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// evalMemberOf: "(W says_t” X) at_R t' implies (G says X) at_R t'" — with
+// synchronized clocks: whenever W says X at a time ≤ t, G says X then. The
+// key-bound variants additionally require the utterance to be signed with
+// the bound key, and for CP(m,n), m members' signed utterances.
+func evalMemberOf(r *Run, t clock.Time, v logic.MemberOf) (bool, error) {
+	switch who := v.Who.(type) {
+	case logic.Principal:
+		return evalPrincipalMembership(r, t, who, v.G)
+	case logic.CompoundPrincipal:
+		if who.IsThreshold() {
+			return evalThresholdMembership(r, t, who, v.G)
+		}
+		return evalPlainCompoundMembership(r, t, who, v.G)
+	default:
+		return false, fmt.Errorf("eval: unsupported membership subject %T", v.Who)
+	}
+}
+
+func evalPrincipalMembership(r *Run, t clock.Time, who logic.Principal, g logic.Group) (bool, error) {
+	tr, ok := r.Traces[who.Name]
+	if !ok {
+		return r.Authorized(g.Name, who.String()), nil
+	}
+	for _, e := range tr.Events {
+		if e.Kind != EventSend || e.At > t {
+			continue
+		}
+		utterance := e.Msg
+		if who.IsBound() {
+			sig, ok := utterance.(logic.Signed)
+			if !ok || sig.K != who.Key {
+				continue // unsigned or wrongly-signed utterances don't count
+			}
+			utterance = sig.X
+		}
+		gs, err := evalGroupSays(r, e.At, g, utterance)
+		if err != nil {
+			return false, err
+		}
+		if !gs {
+			return false, nil
+		}
+	}
+	return r.Authorized(g.Name, who.String()), nil
+}
+
+func evalPlainCompoundMembership(r *Run, t clock.Time, who logic.CompoundPrincipal, g logic.Group) (bool, error) {
+	tr, ok := r.Traces[who.String()]
+	if !ok {
+		return r.Authorized(g.Name, who.String()), nil
+	}
+	for _, e := range tr.Events {
+		if e.Kind != EventSend || e.At > t {
+			continue
+		}
+		gs, err := evalGroupSays(r, e.At, g, e.Msg)
+		if err != nil {
+			return false, err
+		}
+		if !gs {
+			return false, nil
+		}
+	}
+	return r.Authorized(g.Name, who.String()), nil
+}
+
+// evalThresholdMembership: for CP = {P1|K1, ..., Pn|Kn}(m,n), whenever m
+// members have signed utterances of the same X by time t', G says X then.
+func evalThresholdMembership(r *Run, t clock.Time, who logic.CompoundPrincipal, g logic.Group) (bool, error) {
+	if !r.Authorized(g.Name, who.String()) {
+		return false, nil
+	}
+	// Collect per-time signed utterances by members with their bound keys
+	// and verify the implication at each time where the threshold is met.
+	type sighting struct {
+		content string
+		signers map[string]bool
+	}
+	byTimeContent := make(map[clock.Time]map[string]*sighting)
+	for _, mem := range who.Members() {
+		tr, ok := r.Traces[mem.Name]
+		if !ok {
+			continue
+		}
+		for _, e := range tr.Events {
+			if e.Kind != EventSend || e.At > t {
+				continue
+			}
+			sig, ok := e.Msg.(logic.Signed)
+			if !ok || (mem.Key != "" && sig.K != mem.Key) {
+				continue
+			}
+			key := sig.X.String()
+			m, ok := byTimeContent[e.At]
+			if !ok {
+				m = make(map[string]*sighting)
+				byTimeContent[e.At] = m
+			}
+			s, ok := m[key]
+			if !ok {
+				s = &sighting{content: key, signers: make(map[string]bool)}
+				m[key] = s
+			}
+			s.signers[mem.Name] = true
+			if len(s.signers) >= who.Threshold() {
+				// The implication's consequent must hold: G says X at
+				// this time. We reconstruct X from the signed message.
+				gs, err := evalGroupSays(r, e.At, g, sig.X)
+				if err != nil {
+					return false, err
+				}
+				if !gs {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// evalGroupSays: the group's authorization relation realizes "G says X at
+// t" as: some authorized subject utters X at t, respecting the subject's
+// structure — bound principals must sign with their bound key, threshold
+// compound principals need m distinct bound-key co-signatures of X.
+func evalGroupSays(r *Run, t clock.Time, g logic.Group, x logic.Message) (bool, error) {
+	for _, subject := range r.GroupAuth[g.Name] {
+		switch who := subject.(type) {
+		case logic.Principal:
+			if who.IsBound() {
+				if boundUtters(r, who, t, x) {
+					return true, nil
+				}
+			} else if uttersAt(r, who.Name, t, x) {
+				return true, nil
+			}
+		case logic.CompoundPrincipal:
+			if who.IsThreshold() {
+				if thresholdUtters(r, who, t, x) {
+					return true, nil
+				}
+			} else if uttersAt(r, who.String(), t, x) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// uttersAt reports whether the named trace sends a message containing x at
+// exactly time t.
+func uttersAt(r *Run, name string, t clock.Time, x logic.Message) bool {
+	tr, ok := r.Traces[name]
+	if !ok {
+		return false
+	}
+	keys := tr.Keyset(t)
+	for _, e := range tr.Events {
+		if e.Kind == EventSend && e.At == t && logic.ContainsSubmessage(e.Msg, x, keys) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundUtters reports whether the bound principal signs x with its bound
+// key at time t.
+func boundUtters(r *Run, who logic.Principal, t clock.Time, x logic.Message) bool {
+	tr, ok := r.Traces[who.Name]
+	if !ok {
+		return false
+	}
+	for _, e := range tr.Events {
+		if e.Kind != EventSend || e.At != t {
+			continue
+		}
+		sig, ok := e.Msg.(logic.Signed)
+		if ok && sig.K == who.Key && logic.MessageEqual(sig.X, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// thresholdUtters reports whether at least m distinct members of cp sign x
+// with their bound keys at time t.
+func thresholdUtters(r *Run, cp logic.CompoundPrincipal, t clock.Time, x logic.Message) bool {
+	count := 0
+	for _, mem := range cp.Members() {
+		tr, ok := r.Traces[mem.Name]
+		if !ok {
+			continue
+		}
+		for _, e := range tr.Events {
+			if e.Kind != EventSend || e.At != t {
+				continue
+			}
+			sig, ok := e.Msg.(logic.Signed)
+			if !ok || (mem.Key != "" && sig.K != mem.Key) {
+				continue
+			}
+			if logic.MessageEqual(sig.X, x) {
+				count++
+				break
+			}
+		}
+	}
+	return count >= cp.Threshold()
+}
+
+// evalControls: "P controls_t φ iff P says_t φ implies φ at_P t".
+func evalControls(r *Run, t clock.Time, v logic.Controls) (bool, error) {
+	saysIt, err := evalSays(r, t, v.Who, logic.AsMessage(v.F))
+	if err != nil {
+		return false, err
+	}
+	if !saysIt {
+		return true, nil
+	}
+	return Eval(r, t, v.F)
+}
+
+// namedSubject resolves a trace name back to a Subject for says queries:
+// compound traces yield the compound principal, others a simple principal.
+func namedSubject(r *Run, name string) logic.Subject {
+	if tr, ok := r.Traces[name]; ok && tr.IsCompound() {
+		ps := make([]logic.Principal, len(tr.Members))
+		for i, m := range tr.Members {
+			ps[i] = logic.P(m)
+		}
+		return logic.CP(ps...)
+	}
+	return logic.P(name)
+}

@@ -1,0 +1,231 @@
+// Package model implements the model of computation of Appendix C: runs of
+// communicating principals with local histories, the submessage closure,
+// the legality conditions on runs, and truth evaluation of the logic's
+// formulas at points (r, t). On top of it, soundness.go provides the
+// randomized checker that validates the axioms of Appendix B on generated
+// legal runs — the computational content of the soundness theorem of
+// Appendix D (experiment E9).
+//
+// Modeling choices (documented per DESIGN.md):
+//
+//   - Local clocks are synchronized with real time. The paper permits skew
+//     constrained by legality condition (a); perfect synchrony satisfies it
+//     and every axiom that is valid under skew remains valid under
+//     synchrony, so checking validity here is sound for the fragment we
+//     evaluate.
+//   - Holding a KeyID in a key set means holding the private counterpart
+//     K^-1 (the ability to sign and decrypt); verifying needs no
+//     possession, matching axioms A12/A14.
+//   - "G says" is defined through an authorization relation carried by the
+//     run (the semantic counterpart of the ACL), exactly as the truth
+//     conditions for P ⇒ G define it via the implication on says.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/logic"
+)
+
+// EventKind distinguishes the basic events of Appendix C.
+type EventKind int
+
+// Basic event kinds.
+const (
+	EventSend EventKind = iota + 1
+	EventReceive
+	EventGenerate
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventReceive:
+		return "receive"
+	case EventGenerate:
+		return "generate"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a basic event in a principal's history. To is the destination
+// principal of a send; Key is set for key-generation events.
+type Event struct {
+	Kind EventKind
+	Msg  logic.Message
+	To   string
+	Key  logic.KeyID
+	At   clock.Time
+}
+
+// String renders the timestamped event.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSend:
+		return fmt.Sprintf("(send %s → %s, %s)", e.Msg, e.To, e.At)
+	case EventReceive:
+		return fmt.Sprintf("(receive %s, %s)", e.Msg, e.At)
+	case EventGenerate:
+		if e.Key != "" {
+			return fmt.Sprintf("(generate key %s, %s)", e.Key, e.At)
+		}
+		return fmt.Sprintf("(generate %s, %s)", e.Msg, e.At)
+	default:
+		return fmt.Sprintf("(?%d, %s)", int(e.Kind), e.At)
+	}
+}
+
+// Trace is the local state evolution of one principal or compound
+// principal: its identity, its history of timestamped events (kept sorted
+// by time), and the times at which keys entered its key set.
+type Trace struct {
+	Name    string
+	Members []string // non-nil for compound principals
+	Events  []Event
+	// KeyAcquired maps each key to the time its private counterpart
+	// entered the key set (legality condition (c)/(g)).
+	KeyAcquired map[logic.KeyID]clock.Time
+}
+
+// NewTrace returns an empty trace for the named principal.
+func NewTrace(name string, members ...string) *Trace {
+	ms := make([]string, len(members))
+	copy(ms, members)
+	return &Trace{Name: name, Members: ms, KeyAcquired: make(map[logic.KeyID]clock.Time)}
+}
+
+// IsCompound reports whether the trace belongs to a compound principal.
+func (tr *Trace) IsCompound() bool { return len(tr.Members) > 0 }
+
+// Append adds an event, keeping the history sorted by time (stable for
+// equal times, preserving causal insertion order).
+func (tr *Trace) Append(e Event) {
+	tr.Events = append(tr.Events, e)
+	// Insertion sort from the back: appends are usually in time order.
+	for i := len(tr.Events) - 1; i > 0 && tr.Events[i].At < tr.Events[i-1].At; i-- {
+		tr.Events[i], tr.Events[i-1] = tr.Events[i-1], tr.Events[i]
+	}
+}
+
+// Keyset returns the set of keys whose private counterpart the principal
+// holds at time t.
+func (tr *Trace) Keyset(t clock.Time) map[logic.KeyID]bool {
+	out := make(map[logic.KeyID]bool, len(tr.KeyAcquired))
+	for k, at := range tr.KeyAcquired {
+		if at <= t {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// HasKey reports whether the principal holds key k at time t.
+func (tr *Trace) HasKey(k logic.KeyID, t clock.Time) bool {
+	at, ok := tr.KeyAcquired[k]
+	return ok && at <= t
+}
+
+// GrantKey records that the principal acquired k at time t.
+func (tr *Trace) GrantKey(k logic.KeyID, t clock.Time) {
+	if old, ok := tr.KeyAcquired[k]; !ok || t < old {
+		tr.KeyAcquired[k] = t
+	}
+}
+
+// Msgs returns all messages received at or before t (the Msgs_P(r,t) set).
+func (tr *Trace) Msgs(t clock.Time) []logic.Message {
+	var out []logic.Message
+	for _, e := range tr.Events {
+		if e.Kind == EventReceive && e.At <= t {
+			out = append(out, e.Msg)
+		}
+	}
+	return out
+}
+
+// Run is a system run: traces for every principal and compound principal,
+// plus the authorization relation that interprets groups. End is the
+// latest real time of the run.
+type Run struct {
+	Traces map[string]*Trace
+	// GroupAuth maps group name -> canonical form -> the authorized
+	// subject (the semantic ACL). Subjects carry their structure so the
+	// evaluator can enforce key bindings and thresholds.
+	GroupAuth map[string]map[string]logic.Subject
+	End       clock.Time
+}
+
+// NewRun returns an empty run ending at end.
+func NewRun(end clock.Time) *Run {
+	return &Run{
+		Traces:    make(map[string]*Trace),
+		GroupAuth: make(map[string]map[string]logic.Subject),
+		End:       end,
+	}
+}
+
+// Trace returns the trace for the named principal, creating it on demand.
+func (r *Run) Trace(name string) *Trace {
+	tr, ok := r.Traces[name]
+	if !ok {
+		tr = NewTrace(name)
+		r.Traces[name] = tr
+	}
+	return tr
+}
+
+// AddCompound registers a compound principal trace with its member names.
+func (r *Run) AddCompound(name string, members ...string) *Trace {
+	tr := NewTrace(name, members...)
+	r.Traces[name] = tr
+	return tr
+}
+
+// Authorize records that the subject speaks for the group in this run.
+func (r *Run) Authorize(g string, subject logic.Subject) {
+	set, ok := r.GroupAuth[g]
+	if !ok {
+		set = make(map[string]logic.Subject)
+		r.GroupAuth[g] = set
+	}
+	set[subject.String()] = subject
+}
+
+// Authorized reports whether the subject's canonical form speaks for g.
+func (r *Run) Authorized(g string, canonical string) bool {
+	_, ok := r.GroupAuth[g][canonical]
+	return ok
+}
+
+// Names returns the trace names in deterministic order.
+func (r *Run) Names() []string {
+	out := make([]string, 0, len(r.Traces))
+	for n := range r.Traces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send appends matching send/receive events: from sends msg to to at time
+// sendAt; to receives it at recvAt (>= sendAt to respect legality (d)/(h)).
+func (r *Run) Send(from, to string, msg logic.Message, sendAt, recvAt clock.Time) error {
+	if recvAt < sendAt {
+		return fmt.Errorf("send %s→%s: receive time %s precedes send time %s", from, to, recvAt, sendAt)
+	}
+	r.Trace(from).Append(Event{Kind: EventSend, Msg: msg, To: to, At: sendAt})
+	r.Trace(to).Append(Event{Kind: EventReceive, Msg: msg, At: recvAt})
+	return nil
+}
+
+// Generate appends a key-generation event and grants the key.
+func (r *Run) Generate(who string, k logic.KeyID, at clock.Time) {
+	tr := r.Trace(who)
+	tr.Append(Event{Kind: EventGenerate, Key: k, At: at})
+	tr.GrantKey(k, at)
+}

@@ -1,0 +1,545 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/logic"
+)
+
+// This file is the computational counterpart of Appendix D: the soundness
+// theorem states that every derivation of the logic is valid in the model.
+// We check it by (1) generating random legal runs, (2) sampling axiom
+// instances whose antecedents are true in the run, and (3) verifying the
+// consequents by direct evaluation of the truth conditions. A failure of
+// any instance would be a counterexample to soundness.
+
+// Instance is one sampled axiom instance: antecedent ⊃ consequent,
+// evaluated at time At.
+type Instance struct {
+	Axiom      string
+	Antecedent logic.Formula
+	Consequent logic.Formula
+	At         clock.Time
+}
+
+// String renders the instance for failure messages.
+func (in Instance) String() string {
+	return fmt.Sprintf("%s @%s: %s ⊃ %s", in.Axiom, in.At, in.Antecedent, in.Consequent)
+}
+
+// CheckInstance evaluates the instance on the run. It returns vacuous=true
+// when the antecedent is false (the implication holds trivially) and an
+// error when the antecedent holds but the consequent fails — a soundness
+// violation.
+func CheckInstance(r *Run, in Instance) (vacuous bool, err error) {
+	ante, err := Eval(r, in.At, in.Antecedent)
+	if err != nil {
+		return false, fmt.Errorf("%s: antecedent: %w", in.Axiom, err)
+	}
+	if !ante {
+		return true, nil
+	}
+	cons, err := Eval(r, in.At, in.Consequent)
+	if err != nil {
+		return false, fmt.Errorf("%s: consequent: %w", in.Axiom, err)
+	}
+	if !cons {
+		return false, fmt.Errorf("soundness violation: %s", in)
+	}
+	return false, nil
+}
+
+// Config sizes the generated runs.
+type Config struct {
+	Principals int        // simple principals (≥ 3)
+	Steps      int        // scheduled event times
+	End        clock.Time // run horizon
+}
+
+// DefaultConfig returns the sizing used by the soundness tests.
+func DefaultConfig() Config {
+	return Config{Principals: 4, Steps: 40, End: 200}
+}
+
+// Scenario records the ground truth the generator built into a run, from
+// which axiom instances are sampled.
+type Scenario struct {
+	// KeyOwner maps each key to the subject whose signatures it verifies.
+	KeyOwner map[logic.KeyID]logic.Subject
+	// Group is the group interpreted by the run's authorization relation.
+	Group logic.Group
+	// BoundMember is an authorized key-bound principal.
+	BoundMember logic.Principal
+	// PlainMember is an authorized unbound principal.
+	PlainMember logic.Principal
+	// ThresholdCP is the authorized threshold compound principal.
+	ThresholdCP logic.CompoundPrincipal
+	// SharedCP is the compound principal owning a distributed-share key.
+	SharedCP logic.CompoundPrincipal
+	// SharedKey is the compound principal's shared public key.
+	SharedKey logic.KeyID
+	// Utterances are (time, content) pairs at which the threshold quorum
+	// co-signed the same content.
+	Utterances []Utterance
+	// ControlsUtterances records the authority's spoken formulas for the
+	// A22 jurisdiction instances.
+	ControlsUtterances []ControlsUtterance
+}
+
+// ControlsUtterance is one formula spoken by the authority trace.
+type ControlsUtterance struct {
+	At   clock.Time
+	Body logic.Formula
+}
+
+// Utterance is one coordinated threshold signing event.
+type Utterance struct {
+	At      clock.Time
+	Content logic.Message
+	Signers []logic.Principal
+}
+
+// GenerateRun builds a pseudo-random legal run exercising every formula
+// class the axioms range over, returning the run and its scenario.
+func GenerateRun(seed int64, cfg Config) (*Run, *Scenario) {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Principals < 3 {
+		cfg.Principals = 3
+	}
+	if cfg.Steps < 10 {
+		cfg.Steps = 10
+	}
+	if cfg.End < clock.Time(cfg.Steps)*4 {
+		cfg.End = clock.Time(cfg.Steps) * 4
+	}
+	r := NewRun(cfg.End)
+	sc := &Scenario{KeyOwner: make(map[logic.KeyID]logic.Subject)}
+
+	// Simple principals with their own keys, generated at t=0.
+	names := make([]string, cfg.Principals)
+	for i := range names {
+		names[i] = fmt.Sprintf("P%d", i+1)
+		k := logic.KeyID(fmt.Sprintf("K%d", i+1))
+		r.Generate(names[i], k, 0)
+		sc.KeyOwner[k] = logic.P(names[i])
+	}
+	server := "Srv"
+	r.Trace(server) // pure receiver
+
+	// A compound principal {P1,P2,P3} owning a shared key KCP: the key is
+	// "generated" by member P1 running the distributed protocol, and the
+	// compound trace acquires it (legality: memberGenerated).
+	members := []logic.Principal{logic.P(names[0]), logic.P(names[1]), logic.P(names[2])}
+	sharedCP := logic.CP(members...)
+	cpTrace := r.AddCompound(sharedCP.String(), names[0], names[1], names[2])
+	sharedKey := logic.KeyID("KCP")
+	r.Generate(names[0], sharedKey, 1)
+	cpTrace.GrantKey(sharedKey, 1)
+	cpTrace.Append(Event{Kind: EventGenerate, Key: sharedKey, At: 1})
+	sc.SharedCP = sharedCP
+	sc.SharedKey = sharedKey
+	sc.KeyOwner[sharedKey] = sharedCP
+
+	// Group with three kinds of authorized subjects.
+	g := logic.G("G1")
+	sc.Group = g
+	sc.PlainMember = logic.P(names[0])
+	sc.BoundMember = logic.P(names[1]).Bind("K2")
+	boundMembers := make([]logic.Principal, 3)
+	for i := 0; i < 3; i++ {
+		boundMembers[i] = logic.P(names[i]).Bind(logic.KeyID(fmt.Sprintf("K%d", i+1)))
+	}
+	thresholdCP := logic.CP(boundMembers...).WithThreshold(2)
+	sc.ThresholdCP = thresholdCP
+	r.Authorize(g.Name, sc.PlainMember)
+	r.Authorize(g.Name, sc.BoundMember)
+	r.Authorize(g.Name, thresholdCP)
+
+	// Schedule events. Authorized principals only ever utter "on behalf
+	// of the group" content (which keeps the membership truth condition
+	// satisfied); unauthorized principals chatter freely.
+	t := clock.Time(2)
+	for step := 0; step < cfg.Steps; step++ {
+		t += clock.Time(1 + rng.Intn(3))
+		switch rng.Intn(7) {
+		case 0: // unauthorized chatter, possibly signed by the sender
+			i := rng.Intn(cfg.Principals)
+			if cfg.Principals > 3 {
+				i = 3 + rng.Intn(cfg.Principals-3)
+			}
+			from := names[i%len(names)]
+			content := logic.Const{Value: fmt.Sprintf("chat-%d", rng.Intn(50))}
+			var msg logic.Message
+			switch rng.Intn(3) {
+			case 0:
+				msg = content
+			case 1:
+				msg = logic.Sign(content, logic.KeyID(fmt.Sprintf("K%d", (i%len(names))+1)))
+			default:
+				msg = logic.NewTuple(content, logic.Const{Value: fmt.Sprintf("tag-%d", rng.Intn(10))})
+			}
+			mustSend(r, from, server, msg, t, t+clock.Time(rng.Intn(3)))
+		case 1: // plain member utters for the group
+			content := logic.Const{Value: fmt.Sprintf("order-%d", rng.Intn(50))}
+			mustSend(r, sc.PlainMember.Name, server, content, t, t)
+		case 2: // bound member utters, signed with its bound key
+			content := logic.Const{Value: fmt.Sprintf("order-%d", rng.Intn(50))}
+			mustSend(r, sc.BoundMember.Name, server,
+				logic.Sign(content, sc.BoundMember.Key), t, t)
+		case 3: // threshold quorum co-signs the same content at time t
+			content := logic.Const{Value: fmt.Sprintf("joint-%d", rng.Intn(50))}
+			quorum := pickQuorum(rng, boundMembers, 2+rng.Intn(2))
+			for _, m := range quorum {
+				mustSend(r, m.Name, server, logic.Sign(content, m.Key), t, t)
+			}
+			sc.Utterances = append(sc.Utterances, Utterance{At: t, Content: content, Signers: quorum})
+		case 4: // the compound principal speaks with its shared key
+			content := logic.Const{Value: fmt.Sprintf("cp-%d", rng.Intn(50))}
+			mustSend(r, sharedCP.String(), server, logic.Sign(content, sharedKey), t, t+1)
+		case 6: // an authority utters a formula it controls (A22 material)
+			var body logic.Formula
+			if rng.Intn(4) == 0 {
+				// Occasionally a false formula: the authority then does
+				// NOT control it, and the A22 instance is vacuous — the
+				// checker must handle both.
+				body = logic.TimeLE{A: clock.Time(5 + rng.Intn(5)), B: clock.Time(rng.Intn(5))}
+			} else {
+				body = logic.TimeLE{A: clock.Time(rng.Intn(5)), B: clock.Time(5 + rng.Intn(5))}
+			}
+			mustSend(r, "Auth", server, logic.AsMessage(body), t, t)
+			sc.ControlsUtterances = append(sc.ControlsUtterances, ControlsUtterance{At: t, Body: body})
+		case 5: // replay: server's mailbox content forwarded by Eve
+			srv := r.Trace(server)
+			if msgs := srv.Msgs(t); len(msgs) > 0 {
+				m := msgs[rng.Intn(len(msgs))]
+				// Eve intercepts (receives a copy) then forwards.
+				mustSend(r, server, "Eve", m, t, t)
+				mustSend(r, "Eve", names[rng.Intn(len(names))], m, t, t+1)
+			}
+		}
+	}
+	return r, sc
+}
+
+func mustSend(r *Run, from, to string, msg logic.Message, sendAt, recvAt clock.Time) {
+	if err := r.Send(from, to, msg, sendAt, recvAt); err != nil {
+		// The generator always schedules recvAt >= sendAt; a failure here
+		// is a programming error worth failing fast on in tests.
+		panic(err)
+	}
+}
+
+func pickQuorum(rng *rand.Rand, members []logic.Principal, size int) []logic.Principal {
+	if size > len(members) {
+		size = len(members)
+	}
+	idx := rng.Perm(len(members))[:size]
+	out := make([]logic.Principal, size)
+	for i, j := range idx {
+		out[i] = members[j]
+	}
+	return out
+}
+
+// Instances samples axiom instances from the run. Instances whose
+// antecedents hold dominate the sample so the check is non-vacuous.
+func Instances(r *Run, sc *Scenario) []Instance {
+	var out []Instance
+	out = append(out, a10Instances(r, sc)...)
+	out = append(out, a12a15a17Instances(r)...)
+	out = append(out, a8Instances(r)...)
+	out = append(out, a20Instances(r)...)
+	out = append(out, membershipInstances(r, sc)...)
+	out = append(out, a38Instances(r, sc)...)
+	out = append(out, freshnessInstances(r, sc)...)
+	out = append(out, a22Instances(r, sc)...)
+	out = append(out, a7HasInstances(r)...)
+	return out
+}
+
+// a22Instances: P controls_t φ ∧ P says_t φ ⊃ φ at_P t — for every formula
+// the authority uttered. Instances where the authority spoke a falsehood
+// have a false antecedent (controls fails) and are vacuous.
+func a22Instances(r *Run, sc *Scenario) []Instance {
+	var out []Instance
+	auth := logic.P("Auth")
+	for _, u := range sc.ControlsUtterances {
+		out = append(out, Instance{
+			Axiom: "A22",
+			Antecedent: logic.And{
+				L: logic.Controls{Who: auth, T: logic.At(u.At), F: u.Body},
+				R: logic.Says{Who: auth, T: logic.At(u.At), X: logic.AsMessage(u.Body)},
+			},
+			Consequent: logic.AtFormula{F: u.Body, P: "Auth", T: logic.At(u.At)},
+			At:         u.At,
+		})
+	}
+	return out
+}
+
+// a7HasInstances: interval instantiation for said (A7) and monotone key
+// possession (A8c) — from every send and key acquisition.
+func a7HasInstances(r *Run) []Instance {
+	var out []Instance
+	for _, name := range r.Names() {
+		tr := r.Traces[name]
+		subj := namedSubject(r, name)
+		for _, e := range tr.Events {
+			if e.Kind != EventSend {
+				continue
+			}
+			hi := e.At + 5
+			if hi > r.End {
+				continue
+			}
+			out = append(out, Instance{
+				Axiom:      "A7",
+				Antecedent: logic.Said{Who: subj, T: logic.During(e.At, hi), X: e.Msg},
+				Consequent: logic.Said{Who: subj, T: logic.At(e.At + 2), X: e.Msg},
+				At:         hi,
+			})
+		}
+		for k, at := range tr.KeyAcquired {
+			later := at + 9
+			if later > r.End {
+				continue
+			}
+			out = append(out, Instance{
+				Axiom:      "A8c",
+				Antecedent: logic.Has{Who: subj, T: logic.At(at), K: k},
+				Consequent: logic.Has{Who: subj, T: logic.At(later), K: k},
+				At:         later,
+			})
+		}
+	}
+	return out
+}
+
+// a10Instances: K ⇒_{t,Q} W ∧ Q received_t X_{K^-1} ⊃ W said_{t,Q} X — for
+// every receive of a signed message in the run.
+func a10Instances(r *Run, sc *Scenario) []Instance {
+	var out []Instance
+	for _, name := range r.Names() {
+		tr := r.Traces[name]
+		for _, e := range tr.Events {
+			if e.Kind != EventReceive {
+				continue
+			}
+			for _, sub := range logic.Submessages(e.Msg, tr.Keyset(e.At)) {
+				sig, ok := sub.(logic.Signed)
+				if !ok {
+					continue
+				}
+				owner, ok := sc.KeyOwner[sig.K]
+				if !ok {
+					continue
+				}
+				ante := logic.And{
+					L: logic.KeySpeaksFor{K: sig.K, T: logic.At(e.At), Who: owner},
+					R: logic.Received{Who: logic.P(name), T: logic.At(e.At), X: sub},
+				}
+				cons := logic.Said{Who: owner, T: logic.At(e.At), X: sig.X}
+				out = append(out, Instance{Axiom: "A10", Antecedent: ante, Consequent: cons, At: e.At})
+			}
+		}
+	}
+	return out
+}
+
+// a12a15a17Instances: reading and saying decomposition axioms applied to
+// every send/receive in the run.
+func a12a15a17Instances(r *Run) []Instance {
+	var out []Instance
+	for _, name := range r.Names() {
+		tr := r.Traces[name]
+		subj := namedSubject(r, name)
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case EventReceive:
+				if sig, ok := e.Msg.(logic.Signed); ok {
+					out = append(out, Instance{
+						Axiom:      "A12",
+						Antecedent: logic.Received{Who: logic.P(name), T: logic.At(e.At), X: sig},
+						Consequent: logic.Received{Who: logic.P(name), T: logic.At(e.At), X: sig.X},
+						At:         e.At,
+					})
+				}
+			case EventSend:
+				if tup, ok := e.Msg.(logic.Tuple); ok && len(tup.Items) > 0 {
+					out = append(out, Instance{
+						Axiom:      "A15",
+						Antecedent: logic.Said{Who: subj, T: logic.At(e.At), X: tup},
+						Consequent: logic.Said{Who: subj, T: logic.At(e.At), X: tup.Items[0]},
+						At:         e.At,
+					})
+				}
+				if sig, ok := e.Msg.(logic.Signed); ok {
+					out = append(out, Instance{
+						Axiom:      "A17",
+						Antecedent: logic.Said{Who: subj, T: logic.At(e.At), X: sig},
+						Consequent: logic.Said{Who: subj, T: logic.At(e.At), X: sig.X},
+						At:         e.At,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// a8Instances: monotonicity of received/said.
+func a8Instances(r *Run) []Instance {
+	var out []Instance
+	for _, name := range r.Names() {
+		tr := r.Traces[name]
+		subj := namedSubject(r, name)
+		for _, e := range tr.Events {
+			later := e.At + 7
+			if later > r.End {
+				continue
+			}
+			switch e.Kind {
+			case EventReceive:
+				out = append(out, Instance{
+					Axiom:      "A8a",
+					Antecedent: logic.Received{Who: logic.P(name), T: logic.At(e.At), X: e.Msg},
+					Consequent: logic.Received{Who: logic.P(name), T: logic.At(later), X: e.Msg},
+					At:         later,
+				})
+			case EventSend:
+				out = append(out, Instance{
+					Axiom:      "A8b",
+					Antecedent: logic.Said{Who: subj, T: logic.At(e.At), X: e.Msg},
+					Consequent: logic.Said{Who: subj, T: logic.At(later), X: e.Msg},
+					At:         later,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// a20Instances: says ⊃ said at every send event.
+func a20Instances(r *Run) []Instance {
+	var out []Instance
+	for _, name := range r.Names() {
+		tr := r.Traces[name]
+		subj := namedSubject(r, name)
+		for _, e := range tr.Events {
+			if e.Kind != EventSend {
+				continue
+			}
+			out = append(out, Instance{
+				Axiom:      "A20",
+				Antecedent: logic.Says{Who: subj, T: logic.At(e.At), X: e.Msg},
+				Consequent: logic.Said{Who: subj, T: logic.At(e.At), X: e.Msg},
+				At:         e.At,
+			})
+		}
+	}
+	return out
+}
+
+// membershipInstances: A34 for the plain member, A35 for the bound member.
+func membershipInstances(r *Run, sc *Scenario) []Instance {
+	var out []Instance
+	tr := r.Traces[sc.PlainMember.Name]
+	for _, e := range tr.Events {
+		if e.Kind != EventSend {
+			continue
+		}
+		out = append(out, Instance{
+			Axiom: "A34",
+			Antecedent: logic.And{
+				L: logic.MemberOf{Who: sc.PlainMember, T: logic.At(e.At), G: sc.Group},
+				R: logic.Says{Who: sc.PlainMember, T: logic.At(e.At), X: e.Msg},
+			},
+			Consequent: logic.GroupSays{G: sc.Group, T: logic.At(e.At), X: e.Msg},
+			At:         e.At,
+		})
+	}
+	btr := r.Traces[sc.BoundMember.Name]
+	for _, e := range btr.Events {
+		if e.Kind != EventSend {
+			continue
+		}
+		sig, ok := e.Msg.(logic.Signed)
+		if !ok || sig.K != sc.BoundMember.Key {
+			continue
+		}
+		out = append(out, Instance{
+			Axiom: "A35",
+			Antecedent: logic.And{
+				L: logic.MemberOf{Who: sc.BoundMember, T: logic.At(e.At), G: sc.Group},
+				R: logic.And{
+					L: logic.KeySpeaksFor{K: sc.BoundMember.Key, T: logic.At(e.At), Who: sc.BoundMember.Unbound()},
+					R: logic.Says{Who: sc.BoundMember.Unbound(), T: logic.At(e.At), X: sig},
+				},
+			},
+			Consequent: logic.GroupSays{G: sc.Group, T: logic.At(e.At), X: sig.X},
+			At:         e.At,
+		})
+	}
+	return out
+}
+
+// a38Instances: CP(m,n) ⇒ G ∧ m signed utterances of X ⊃ G says X — at
+// every coordinated threshold utterance of the scenario.
+func a38Instances(r *Run, sc *Scenario) []Instance {
+	var out []Instance
+	for _, u := range sc.Utterances {
+		if len(u.Signers) < sc.ThresholdCP.Threshold() {
+			continue
+		}
+		ante := logic.Formula(logic.MemberOf{Who: sc.ThresholdCP, T: logic.At(u.At), G: sc.Group})
+		for _, s := range u.Signers {
+			ante = logic.And{
+				L: ante,
+				R: logic.Says{Who: s.Unbound(), T: logic.At(u.At), X: logic.Sign(u.Content, s.Key)},
+			}
+		}
+		out = append(out, Instance{
+			Axiom:      "A38",
+			Antecedent: ante,
+			Consequent: logic.GroupSays{G: sc.Group, T: logic.At(u.At), X: u.Content},
+			At:         u.At,
+		})
+	}
+	return out
+}
+
+// freshnessInstances: A21 — a never-sent nonce is fresh, and any composite
+// containing it is fresh too.
+func freshnessInstances(r *Run, sc *Scenario) []Instance {
+	nonce := logic.Const{Value: "nonce-never-sent"}
+	composite := logic.NewTuple(logic.Const{Value: "req"}, nonce)
+	t := r.End - 1
+	return []Instance{{
+		Axiom:      "A21",
+		Antecedent: logic.Fresh{T: logic.At(t), Who: "Srv", X: nonce},
+		Consequent: logic.Fresh{T: logic.At(t), Who: "Srv", X: composite},
+		At:         t,
+	}}
+}
+
+// CheckSoundness generates a run from the seed, asserts legality, checks
+// every sampled instance, and returns the number of non-vacuous instances
+// checked.
+func CheckSoundness(seed int64, cfg Config) (checked int, err error) {
+	r, sc := GenerateRun(seed, cfg)
+	if err := CheckLegal(r); err != nil {
+		return 0, fmt.Errorf("generated run is illegal: %w", err)
+	}
+	for _, in := range Instances(r, sc) {
+		vacuous, err := CheckInstance(r, in)
+		if err != nil {
+			return checked, err
+		}
+		if !vacuous {
+			checked++
+		}
+	}
+	return checked, nil
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jointadmin/internal/logic"
+)
+
+// TestSoundnessGeneratedRunsLegal asserts the generator only produces runs
+// satisfying the legality conditions of Appendix C.
+func TestSoundnessGeneratedRunsLegal(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r, _ := GenerateRun(seed, DefaultConfig())
+		if err := CheckLegal(r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSoundnessAxiomsValid is experiment E9: every sampled axiom instance
+// must hold on every generated legal run (Appendix D's theorem, checked
+// computationally).
+func TestSoundnessAxiomsValid(t *testing.T) {
+	totalChecked := 0
+	for seed := int64(0); seed < 30; seed++ {
+		n, err := CheckSoundness(seed, DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		totalChecked += n
+	}
+	// Guard against silent vacuity: the sampler must exercise real
+	// instances, not only trivially-true implications.
+	if totalChecked < 500 {
+		t.Errorf("only %d non-vacuous instances checked; sampler too weak", totalChecked)
+	}
+}
+
+// TestSoundnessQuick drives the checker through testing/quick with random
+// seeds and run sizes.
+func TestSoundnessQuick(t *testing.T) {
+	f := func(seed int64, principals, steps uint8) bool {
+		cfg := Config{
+			Principals: 3 + int(principals%4),
+			Steps:      10 + int(steps%40),
+			End:        1000,
+		}
+		_, err := CheckSoundness(seed, cfg)
+		if err != nil {
+			t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSoundnessPerAxiomCoverage checks the instance sampler produces
+// non-vacuous instances for each axiom family.
+func TestSoundnessPerAxiomCoverage(t *testing.T) {
+	byAxiom := make(map[string]int)
+	for seed := int64(0); seed < 40; seed++ {
+		r, sc := GenerateRun(seed, DefaultConfig())
+		for _, in := range Instances(r, sc) {
+			vac, err := CheckInstance(r, in)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !vac {
+				byAxiom[in.Axiom]++
+			}
+		}
+	}
+	for _, ax := range []string{"A7", "A8a", "A8b", "A8c", "A10", "A12", "A15", "A17", "A20", "A21", "A22", "A34", "A35", "A38"} {
+		if byAxiom[ax] == 0 {
+			t.Errorf("axiom %s never exercised non-vacuously", ax)
+		}
+	}
+}
+
+// TestCheckInstanceDetectsViolation plants a forged signature in a run and
+// confirms the checker reports the A10 violation — the checker must be
+// able to fail, otherwise TestSoundnessAxiomsValid proves nothing.
+func TestCheckInstanceDetectsViolation(t *testing.T) {
+	r := NewRun(100)
+	r.Generate("A", "Ka", 0)
+	forged := logic.Sign(logic.Const{Value: "forged"}, "Ka")
+	if err := r.Send("Eve", "B", forged, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{
+		Axiom: "A10",
+		Antecedent: logic.Received{
+			Who: logic.P("B"), T: logic.At(6), X: forged,
+		},
+		Consequent: logic.Said{Who: logic.P("A"), T: logic.At(6), X: logic.Const{Value: "forged"}},
+		At:         6,
+	}
+	vac, err := CheckInstance(r, in)
+	if vac {
+		t.Fatal("instance unexpectedly vacuous")
+	}
+	if err == nil {
+		t.Fatal("checker failed to detect the forgery-induced violation")
+	}
+}
+
+// TestInstanceStringAndVacuous exercises formatting and the vacuous path.
+func TestInstanceStringAndVacuous(t *testing.T) {
+	r := NewRun(10)
+	in := Instance{
+		Axiom:      "A20",
+		Antecedent: logic.Says{Who: logic.P("A"), T: logic.At(1), X: logic.Const{Value: "m"}},
+		Consequent: logic.Said{Who: logic.P("A"), T: logic.At(1), X: logic.Const{Value: "m"}},
+		At:         1,
+	}
+	vac, err := CheckInstance(r, in)
+	if err != nil || !vac {
+		t.Errorf("empty-run instance should be vacuous: %v, %v", vac, err)
+	}
+	if in.String() == "" {
+		t.Error("empty instance string")
+	}
+}

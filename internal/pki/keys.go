@@ -1,0 +1,140 @@
+// Package pki implements the certificate machinery of the coalition
+// architecture (Figure 1): identity certificates issued by per-domain CAs,
+// attribute and threshold attribute certificates issued by the coalition
+// Attribute Authority, and time-stamped revocation certificates. Every
+// certificate has two faces kept in exact correspondence:
+//
+//   - a wire form — a deterministically encoded payload carrying a real
+//     RSA-FDH signature (a conventional key for CAs and users, the shared
+//     key of internal/sharedrsa for the coalition AA), and
+//   - an idealized form — the time-stamped logic message of Section 4.2
+//     (e.g. ⟦CA says_tCA (K ⇒ [tb,te],CA P)⟧_KCA⁻¹) consumed by the
+//     derivation engine of internal/logic.
+package pki
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+	"math/big"
+
+	"jointadmin/internal/sharedrsa"
+)
+
+// KeyPair is a conventional (single-owner) RSA key pair used by users and
+// domain CAs. Signing uses the same full-domain-hash scheme as the shared
+// key so that all verification in the system is uniform.
+type KeyPair struct {
+	pub sharedrsa.PublicKey
+	d   *big.Int
+}
+
+// GenerateKeyPair creates a conventional RSA key pair of the given size.
+func GenerateKeyPair(bits int, rng io.Reader) (*KeyPair, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := rsa.GenerateKey(rng, bits)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate key: %w", err)
+	}
+	return &KeyPair{
+		pub: sharedrsa.PublicKey{N: key.N, E: big.NewInt(int64(key.E))},
+		d:   new(big.Int).Set(key.D),
+	}, nil
+}
+
+// Public returns the public half.
+func (kp *KeyPair) Public() sharedrsa.PublicKey { return kp.pub }
+
+// KeyID returns the key identifier (hash of N and e).
+func (kp *KeyPair) KeyID() string { return kp.pub.KeyID() }
+
+// Sign produces an FDH-RSA signature over msg.
+func (kp *KeyPair) Sign(msg []byte) sharedrsa.Signature {
+	h := sharedrsa.HashMessage(msg, kp.pub)
+	return sharedrsa.Signature{S: new(big.Int).Exp(h, kp.d, kp.pub.N)}
+}
+
+// Signer abstracts over who produces a certificate signature: a
+// conventional key pair (domain CA, user) or the coalition's joint
+// signature protocol (the shared AA key). The paper's Case I lock box also
+// satisfies it.
+type Signer interface {
+	// Public returns the verification key.
+	Public() sharedrsa.PublicKey
+	// Sign signs the payload.
+	Sign(msg []byte) (sharedrsa.Signature, error)
+}
+
+// keyPairSigner adapts KeyPair to Signer.
+type keyPairSigner struct{ kp *KeyPair }
+
+var _ Signer = keyPairSigner{}
+
+func (s keyPairSigner) Public() sharedrsa.PublicKey { return s.kp.Public() }
+
+func (s keyPairSigner) Sign(msg []byte) (sharedrsa.Signature, error) {
+	return s.kp.Sign(msg), nil
+}
+
+// AsSigner wraps a conventional key pair as a Signer.
+func (kp *KeyPair) AsSigner() Signer { return keyPairSigner{kp: kp} }
+
+// JointSigner signs with the coalition's distributed private key shares
+// (the Case II design): every signature is a run of the joint signature
+// protocol of Section 3.2.
+type JointSigner struct {
+	pk     sharedrsa.PublicKey
+	shares []sharedrsa.Share
+}
+
+var _ Signer = (*JointSigner)(nil)
+
+// NewJointSigner wraps a shared key's public half and the member domains'
+// exponent shares.
+func NewJointSigner(pk sharedrsa.PublicKey, shares []sharedrsa.Share) *JointSigner {
+	ss := make([]sharedrsa.Share, len(shares))
+	for i, s := range shares {
+		ss[i] = s.Clone()
+	}
+	return &JointSigner{pk: pk, shares: ss}
+}
+
+// Public returns the shared public key.
+func (j *JointSigner) Public() sharedrsa.PublicKey { return j.pk }
+
+// Sign runs the joint signature protocol over all shares.
+func (j *JointSigner) Sign(msg []byte) (sharedrsa.Signature, error) {
+	return sharedrsa.SignJointly(msg, j.pk, j.shares)
+}
+
+// ThresholdSigner signs with an m-of-n threshold sharing and an explicit
+// quorum — used to model reduced-availability signing (Section 3.3).
+type ThresholdSigner struct {
+	ts     *sharedrsa.ThresholdShares
+	quorum []int
+}
+
+var _ Signer = (*ThresholdSigner)(nil)
+
+// NewThresholdSigner wraps threshold shares with the quorum that will sign.
+func NewThresholdSigner(ts *sharedrsa.ThresholdShares, quorum []int) *ThresholdSigner {
+	q := make([]int, len(quorum))
+	copy(q, quorum)
+	return &ThresholdSigner{ts: ts, quorum: q}
+}
+
+// Public returns the shared public key.
+func (t *ThresholdSigner) Public() sharedrsa.PublicKey { return t.ts.Public }
+
+// Sign runs the quorum signing protocol.
+func (t *ThresholdSigner) Sign(msg []byte) (sharedrsa.Signature, error) {
+	return t.ts.QuorumSign(msg, t.quorum)
+}
+
+// VerifySignature checks an FDH-RSA signature against a public key.
+func VerifySignature(msg []byte, pk sharedrsa.PublicKey, sig sharedrsa.Signature) error {
+	return sharedrsa.Verify(msg, pk, sig)
+}

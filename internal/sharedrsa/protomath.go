@@ -1,0 +1,175 @@
+package sharedrsa
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// This file exports the per-party arithmetic of the Boneh–Franklin
+// protocol so that the message-passing implementation
+// (internal/keygenproto) computes exactly the same quantities as the
+// in-process one (keygen.go), which delegates here.
+
+// SamplePrimeShareAt draws party `index`'s additive share of a candidate
+// prime: party 1 samples ≡ 3 (mod 4) with the top bit placed so the sum
+// has bits/2 bits; other parties sample small shares ≡ 0 (mod 4).
+// index is 1-based; parties is n.
+func SamplePrimeShareAt(index, parties, bits int, rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	half := bits / 2
+	if index == 1 {
+		lead, err := rand.Int(rng, new(big.Int).Lsh(big.NewInt(1), uint(half-2)))
+		if err != nil {
+			return nil, fmt.Errorf("sharedrsa: sample share: %w", err)
+		}
+		lead.Add(lead, new(big.Int).Lsh(big.NewInt(1), uint(half-1)))
+		lead.And(lead, new(big.Int).Not(big.NewInt(3)))
+		lead.Or(lead, big.NewInt(3))
+		return lead, nil
+	}
+	extra := uint(0)
+	for v := parties - 1; v > 1; v >>= 1 {
+		extra++
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(half-2)-extra)
+	s, err := rand.Int(rng, bound)
+	if err != nil {
+		return nil, fmt.Errorf("sharedrsa: sample share: %w", err)
+	}
+	s.And(s, new(big.Int).Not(big.NewInt(3)))
+	return s, nil
+}
+
+// SieveModuli returns the trial-division moduli: the odd primes below
+// 1000 plus the public exponent e (to reject p ≡ 1 mod e).
+func SieveModuli(e *big.Int) []*big.Int {
+	out := make([]*big.Int, 0, len(smallPrimes)+1)
+	for _, ell := range smallPrimes {
+		out = append(out, big.NewInt(ell))
+	}
+	out = append(out, new(big.Int).Set(e))
+	return out
+}
+
+// SieveAccepts checks the revealed residues of the candidate sums against
+// the moduli: reject when any small prime divides the candidate, or when
+// the candidate ≡ 1 mod e (the last modulus).
+func SieveAccepts(residues []*big.Int, moduli []*big.Int) bool {
+	for i, r := range residues {
+		last := i == len(moduli)-1
+		if last {
+			if r.Cmp(big.NewInt(1)) == 0 {
+				return false
+			}
+			continue
+		}
+		if r.Sign() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PhiShare computes party `index`'s additive share of φ(N):
+// φ₁ = N − p₁ − q₁ + 1 and φᵢ = −(pᵢ + qᵢ) for i > 1.
+func PhiShare(index int, bigN, p, q *big.Int) *big.Int {
+	if index == 1 {
+		out := new(big.Int).Sub(bigN, p)
+		out.Sub(out, q)
+		out.Add(out, big.NewInt(1))
+		return out
+	}
+	return new(big.Int).Neg(new(big.Int).Add(p, q))
+}
+
+// BiprimeExponent computes party `index`'s exponent for the biprimality
+// round: (N − p₁ − q₁ + 1)/4 for party 1, (pᵢ + qᵢ)/4 otherwise. ok is
+// false when the congruence constraints are violated (candidate must be
+// resampled).
+func BiprimeExponent(index int, bigN, p, q *big.Int) (*big.Int, bool) {
+	four := big.NewInt(4)
+	var num *big.Int
+	if index == 1 {
+		num = new(big.Int).Sub(bigN, p)
+		num.Sub(num, q)
+		num.Add(num, big.NewInt(1))
+	} else {
+		num = new(big.Int).Add(p, q)
+	}
+	if new(big.Int).Mod(num, four).Sign() != 0 {
+		return nil, false
+	}
+	return num.Div(num, four), true
+}
+
+// BiprimeAccepts checks one round: v₁ ≡ ±∏ᵢ>₁ vᵢ (mod N).
+func BiprimeAccepts(bigN, v1 *big.Int, others []*big.Int) bool {
+	w := big.NewInt(1)
+	for _, v := range others {
+		w.Mul(w, v)
+		w.Mod(w, bigN)
+	}
+	if v1.Cmp(w) == 0 {
+		return true
+	}
+	wNeg := new(big.Int).Sub(bigN, w)
+	return v1.Cmp(wNeg) == 0
+}
+
+// SampleBiprimeBase draws a base g with Jacobi symbol (g/N) = 1. ok=false
+// signals gcd(g, N) > 1, i.e. N is composite and the candidate dies.
+func SampleBiprimeBase(bigN *big.Int, rng io.Reader) (g *big.Int, ok bool, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for {
+		g, err = rand.Int(rng, bigN)
+		if err != nil {
+			return nil, false, fmt.Errorf("sharedrsa: sample biprime base: %w", err)
+		}
+		if g.Cmp(big.NewInt(2)) < 0 {
+			continue
+		}
+		switch big.Jacobi(g, bigN) {
+		case 1:
+			return g, true, nil
+		case 0:
+			return nil, false, nil
+		default:
+			// Jacobi symbol −1: resample.
+		}
+	}
+}
+
+// Zeta computes ζ = −(φ mod e)⁻¹ mod e from the revealed residue. ok is
+// false when gcd(e, φ) ≠ 1.
+func Zeta(phiModE, e *big.Int) (*big.Int, bool) {
+	if phiModE.Sign() == 0 {
+		return nil, false
+	}
+	z := new(big.Int).ModInverse(phiModE, e)
+	if z == nil {
+		return nil, false
+	}
+	z.Neg(z)
+	z.Mod(z, e)
+	return z, true
+}
+
+// ExponentShare computes dᵢ = ⌊ζ·φᵢ/e⌋ (floor division; Go's Euclidean
+// Div floors for positive divisors).
+func ExponentShare(zeta, phi, e *big.Int) *big.Int {
+	d := new(big.Int).Mul(zeta, phi)
+	return d.Div(d, e)
+}
+
+// IsPerfectSquare reports whether n is a perfect square (p == q breaks the
+// biprimality test and the candidate must be rejected).
+func IsPerfectSquare(n *big.Int) bool {
+	sq := new(big.Int).Sqrt(n)
+	return new(big.Int).Mul(sq, sq).Cmp(n) == 0
+}

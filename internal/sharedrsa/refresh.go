@@ -1,0 +1,65 @@
+package sharedrsa
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// RefreshShares implements the proactive share refresh of Wu, Malkin and
+// Boneh ("Building Intrusion Tolerant Applications", cited in Section 6):
+// the parties re-randomize their additive shares of d without changing the
+// public key or the exponent sum. Each party i draws a zero-sharing row
+// r_{i,1..n} with Σ_j r_{i,j} = 0 and sends r_{i,j} to party j; party j's
+// new share is d_j + Σ_i r_{i,j}.
+//
+// After a refresh, shares stolen before the refresh are useless in
+// combination with shares stolen after it — the intrusion-tolerance
+// property. Note the paper's caveat stands: refresh does NOT handle
+// coalition dynamics (changing n requires a new key; see
+// internal/coalition.Rekey).
+func RefreshShares(shares []Share, rng io.Reader) ([]Share, error) {
+	n := len(shares)
+	if n < 2 {
+		return nil, ErrTooFewParties
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	// Delta magnitude: comfortably wider than any share to statistically
+	// mask the originals.
+	maxBits := 0
+	for _, s := range shares {
+		if s.D == nil {
+			return nil, fmt.Errorf("sharedrsa: share %d has no exponent", s.Index)
+		}
+		if b := s.D.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(maxBits+64))
+
+	deltas := make([]*big.Int, n)
+	for j := range deltas {
+		deltas[j] = new(big.Int)
+	}
+	for i := 0; i < n; i++ {
+		rowSum := new(big.Int)
+		for j := 0; j < n-1; j++ {
+			r, err := rand.Int(rng, bound)
+			if err != nil {
+				return nil, fmt.Errorf("sharedrsa: refresh: %w", err)
+			}
+			deltas[j].Add(deltas[j], r)
+			rowSum.Add(rowSum, r)
+		}
+		// Last column balances the row to zero.
+		deltas[n-1].Sub(deltas[n-1], rowSum)
+	}
+	out := make([]Share, n)
+	for j, s := range shares {
+		out[j] = Share{Index: s.Index, D: new(big.Int).Add(s.D, deltas[j])}
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package sharedrsa
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRefreshPreservesSigningPower(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	fresh, err := RefreshShares(res.Shares, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("after refresh")
+	sig, err := SignJointly(msg, res.Public, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshChangesEveryShare(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	fresh, err := RefreshShares(res.Shares, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if fresh[i].D.Cmp(res.Shares[i].D) == 0 {
+			t.Errorf("share %d unchanged by refresh", i+1)
+		}
+		if fresh[i].Index != res.Shares[i].Index {
+			t.Errorf("share %d index changed", i+1)
+		}
+	}
+}
+
+func TestRefreshInvalidatesMixedEpochs(t *testing.T) {
+	// The intrusion-tolerance property: shares stolen before the refresh
+	// cannot be combined with shares stolen after it.
+	res := sharedKey(t, 128, 3)
+	fresh, err := RefreshShares(res.Shares, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("mixed epochs")
+	mixed := []Share{res.Shares[0], fresh[1], fresh[2]}
+	partials := make([]PartialSignature, len(mixed))
+	for i, sh := range mixed {
+		p, err := PartialSign(msg, res.Public, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials[i] = p
+	}
+	if _, err := Combine(msg, res.Public, partials, 3); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("mixed-epoch shares produced a signature: %v", err)
+	}
+}
+
+func TestRefreshRepeated(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	shares := res.Shares
+	for epoch := 0; epoch < 4; epoch++ {
+		var err error
+		shares, err = RefreshShares(shares, nil)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+	msg := []byte("many epochs later")
+	sig, err := SignJointly(msg, res.Public, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	if _, err := RefreshShares(nil, nil); !errors.Is(err, ErrTooFewParties) {
+		t.Errorf("empty shares: %v", err)
+	}
+	if _, err := RefreshShares([]Share{{Index: 1}}, nil); !errors.Is(err, ErrTooFewParties) {
+		t.Errorf("single share: %v", err)
+	}
+	if _, err := RefreshShares([]Share{{Index: 1}, {Index: 2}}, nil); err == nil {
+		t.Error("nil exponents accepted")
+	}
+}

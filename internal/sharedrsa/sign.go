@@ -1,0 +1,134 @@
+package sharedrsa
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// PartialSign computes one party's contribution S_i = H(M)^{d_i} mod N
+// (Section 3.2: "each of the co-signers then apply their corresponding
+// private key shares d_i to compute S_i = M^{d_i} mod N"). Negative shares
+// (which arise from the floor-division sharing of d) are applied through
+// the modular inverse of H(M).
+func PartialSign(msg []byte, pk PublicKey, sh Share) (PartialSignature, error) {
+	if sh.D == nil {
+		return PartialSignature{}, fmt.Errorf("sharedrsa: share %d has no exponent", sh.Index)
+	}
+	h := hashToModulus(msg, pk.N)
+	v, err := modExpSigned(h, sh.D, pk.N)
+	if err != nil {
+		return PartialSignature{}, fmt.Errorf("sharedrsa: partial sign (party %d): %w", sh.Index, err)
+	}
+	return PartialSignature{Index: sh.Index, V: v}, nil
+}
+
+// modExpSigned computes base^exp mod n for possibly negative exp.
+func modExpSigned(base, exp, n *big.Int) (*big.Int, error) {
+	if exp.Sign() >= 0 {
+		return new(big.Int).Exp(base, exp, n), nil
+	}
+	inv := new(big.Int).ModInverse(base, n)
+	if inv == nil {
+		// gcd(base, N) > 1: astronomically unlikely for a hash; would
+		// incidentally factor N.
+		return nil, fmt.Errorf("hash shares a factor with the modulus")
+	}
+	return inv.Exp(inv, new(big.Int).Neg(exp), n), nil
+}
+
+// Combine implements the requestor side of the joint signature protocol:
+// it multiplies the partial signatures, S = ∏ S_i mod N, and fixes the
+// bounded additive remainder of the floor-division exponent sharing by
+// trying S·H^j for j = 0..parties until the signature verifies under e.
+func Combine(msg []byte, pk PublicKey, partials []PartialSignature, parties int) (Signature, error) {
+	if len(partials) == 0 {
+		return Signature{}, fmt.Errorf("sharedrsa: no partial signatures: %w", ErrPartialMismatch)
+	}
+	seen := make(map[int]bool, len(partials))
+	s := big.NewInt(1)
+	for _, p := range partials {
+		if p.V == nil {
+			return Signature{}, fmt.Errorf("sharedrsa: partial %d is empty: %w", p.Index, ErrPartialMismatch)
+		}
+		if seen[p.Index] {
+			return Signature{}, fmt.Errorf("sharedrsa: duplicate partial from party %d: %w", p.Index, ErrPartialMismatch)
+		}
+		seen[p.Index] = true
+		s.Mul(s, p.V)
+		s.Mod(s, pk.N)
+	}
+	h := hashToModulus(msg, pk.N)
+	budget := parties
+	if budget < len(partials) {
+		budget = len(partials)
+	}
+	cand := new(big.Int).Set(s)
+	check := new(big.Int)
+	for j := 0; j <= budget; j++ {
+		check.Exp(cand, pk.E, pk.N)
+		if check.Cmp(h) == 0 {
+			return Signature{S: cand, Correction: j}, nil
+		}
+		cand.Mul(cand, h)
+		cand.Mod(cand, pk.N)
+	}
+	return Signature{}, ErrBadSignature
+}
+
+// Verify checks the joint signature: S^e ≡ H(M) (mod N).
+func Verify(msg []byte, pk PublicKey, sig Signature) error {
+	if sig.S == nil {
+		return ErrBadSignature
+	}
+	h := hashToModulus(msg, pk.N)
+	if new(big.Int).Exp(sig.S, pk.E, pk.N).Cmp(h) != 0 {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SignJointly is the whole Section 3.2 flow for an n-of-n sharing: the
+// requestor sends (M, keyID) to the co-signers, collects their partials,
+// combines and verifies. It is the signing primitive the coalition AA uses
+// on every threshold attribute certificate.
+func SignJointly(msg []byte, pk PublicKey, shares []Share) (Signature, error) {
+	partials := make([]PartialSignature, len(shares))
+	for i, sh := range shares {
+		p, err := PartialSign(msg, pk, sh)
+		if err != nil {
+			return Signature{}, err
+		}
+		partials[i] = p
+	}
+	sig, err := Combine(msg, pk, partials, len(shares))
+	if err != nil {
+		return Signature{}, fmt.Errorf("sharedrsa: joint signature: %w", err)
+	}
+	return sig, nil
+}
+
+// CombineExact is the ablation counterpart of Combine for
+// BenchmarkSignCorrection: instead of searching the correction j, the
+// caller supplies the exact remainder k (obtainable by tracking the
+// floor-division residues during keygen at the cost of revealing them).
+func CombineExact(msg []byte, pk PublicKey, partials []PartialSignature, k int) (Signature, error) {
+	if len(partials) == 0 {
+		return Signature{}, ErrPartialMismatch
+	}
+	s := big.NewInt(1)
+	for _, p := range partials {
+		if p.V == nil {
+			return Signature{}, ErrPartialMismatch
+		}
+		s.Mul(s, p.V)
+		s.Mod(s, pk.N)
+	}
+	h := hashToModulus(msg, pk.N)
+	s.Mul(s, new(big.Int).Exp(h, big.NewInt(int64(k)), pk.N))
+	s.Mod(s, pk.N)
+	sig := Signature{S: s, Correction: k}
+	if err := Verify(msg, pk, sig); err != nil {
+		return Signature{}, err
+	}
+	return sig, nil
+}

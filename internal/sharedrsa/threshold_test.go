@@ -1,0 +1,153 @@
+package sharedrsa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReshareQuorumSign(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	ts, err := Reshare(res.Public, res.Shares, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("2-of-3 certificate")
+	// Every 2-subset can sign.
+	for _, quorum := range [][]int{{1, 2}, {1, 3}, {2, 3}, {1, 2, 3}} {
+		sig, err := ts.QuorumSign(msg, quorum)
+		if err != nil {
+			t.Fatalf("quorum %v: %v", quorum, err)
+		}
+		if err := Verify(msg, res.Public, sig); err != nil {
+			t.Fatalf("quorum %v: %v", quorum, err)
+		}
+	}
+	// No single party can.
+	for _, quorum := range [][]int{{1}, {2}, {3}} {
+		if _, err := ts.QuorumSign(msg, quorum); !errors.Is(err, ErrQuorum) {
+			t.Fatalf("quorum %v signed below threshold: %v", quorum, err)
+		}
+	}
+}
+
+func TestReshareFullThresholdEqualsNofN(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	ts, err := Reshare(res.Public, res.Shares, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("3-of-3")
+	if _, err := ts.QuorumSign(msg, []int{1, 2}); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("2 parties signed a 3-of-3 sharing: %v", err)
+	}
+	sig, err := ts.QuorumSign(msg, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(msg, res.Public, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshareValidation(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	if _, err := Reshare(res.Public, res.Shares, 0, nil); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Reshare(res.Public, res.Shares, 4, nil); err == nil {
+		t.Error("m>n accepted")
+	}
+	if _, err := Reshare(res.Public, res.Shares[:1], 1, nil); !errors.Is(err, ErrTooFewParties) {
+		t.Error("single-share reshare accepted")
+	}
+}
+
+func TestQuorumSignValidation(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	ts, err := Reshare(res.Public, res.Shares, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.QuorumSign([]byte("m"), []int{0, 2}); err == nil {
+		t.Error("out-of-range party accepted")
+	}
+	if _, err := ts.QuorumSign([]byte("m"), []int{2, 2}); !errors.Is(err, ErrQuorum) {
+		t.Errorf("duplicate quorum members counted twice: %v", err)
+	}
+}
+
+func TestSubsetAccounting(t *testing.T) {
+	res := sharedKey(t, 128, 3)
+	// m=2, n=3: subsets of size n-m+1 = 2 → C(3,2) = 3.
+	ts, err := Reshare(res.Public, res.Shares, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.SubsetCount(); got != 3 {
+		t.Errorf("SubsetCount = %d, want 3", got)
+	}
+	// Each party belongs to 2 of the 3 subsets.
+	for p := 1; p <= 3; p++ {
+		if got := ts.HoldingsOf(p); got != 2 {
+			t.Errorf("HoldingsOf(%d) = %d, want 2", p, got)
+		}
+	}
+	if ts.HoldingsOf(0) != 0 || ts.HoldingsOf(9) != 0 {
+		t.Error("out-of-range holdings should be 0")
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	got := subsetsOfSize(4, 2)
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) = %d, want 6", len(got))
+	}
+	seen := make(map[string]bool)
+	for _, s := range got {
+		k := subsetKey(s)
+		if seen[k] {
+			t.Errorf("duplicate subset %s", k)
+		}
+		seen[k] = true
+		if len(s) != 2 {
+			t.Errorf("subset %v has wrong size", s)
+		}
+	}
+	if n := len(subsetsOfSize(5, 5)); n != 1 {
+		t.Errorf("C(5,5) = %d", n)
+	}
+	if n := len(subsetsOfSize(5, 1)); n != 5 {
+		t.Errorf("C(5,1) = %d", n)
+	}
+}
+
+// Property: any quorum of ≥ m distinct parties signs successfully, any
+// smaller quorum fails — over the dealer fast path for speed.
+func TestThresholdAvailabilityProperty(t *testing.T) {
+	res, err := DealerSplit(512, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Reshare(res.Public, res.Shares, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("property msg")
+	f := func(mask uint8) bool {
+		var quorum []int
+		for p := 1; p <= 5; p++ {
+			if mask&(1<<uint(p-1)) != 0 {
+				quorum = append(quorum, p)
+			}
+		}
+		sig, err := ts.QuorumSign(msg, quorum)
+		if len(quorum) >= 3 {
+			return err == nil && Verify(msg, res.Public, sig) == nil
+		}
+		return errors.Is(err, ErrQuorum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Error(err)
+	}
+}

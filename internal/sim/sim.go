@@ -1,0 +1,241 @@
+// Package sim provides the failure and adversary simulations behind the
+// quantitative experiments: threshold availability under domain downtime
+// (E3, Section 3.3), forgery resistance of Case I vs Case II under domain
+// compromise (E4, Section 2.2), and workload generation for the
+// authorization benchmarks (E5).
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"jointadmin/internal/sharedrsa"
+)
+
+// modExp computes h^d mod N for the attacker's direct exponentiation.
+func modExp(h, d *big.Int, pk sharedrsa.PublicKey) *big.Int {
+	return new(big.Int).Exp(h, d, pk.N)
+}
+
+// AvailabilityConfig parameterizes the E3 simulation.
+type AvailabilityConfig struct {
+	N        int     // domains
+	M        int     // signing threshold
+	Downtime float64 // per-domain independent probability of being down
+	Trials   int
+	Seed     int64
+	// Bits sizes the dealer key backing the threshold shares.
+	Bits int
+}
+
+// AvailabilityResult reports the measured signature availability.
+type AvailabilityResult struct {
+	Config    AvailabilityConfig
+	Successes int
+	Trials    int
+	// Analytic is the closed-form availability Σ_{k=m..n} C(n,k)
+	// (1-p)^k p^(n-k) for cross-checking the simulation.
+	Analytic float64
+}
+
+// Rate returns the measured success fraction.
+func (r AvailabilityResult) Rate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Trials)
+}
+
+// String renders one results row.
+func (r AvailabilityResult) String() string {
+	return fmt.Sprintf("n=%d m=%d p=%.2f  measured=%.4f analytic=%.4f (%d trials)",
+		r.Config.N, r.Config.M, r.Config.Downtime, r.Rate(), r.Analytic, r.Trials)
+}
+
+// RunAvailability measures how often an m-of-n quorum can produce a valid
+// joint signature when each domain is independently down with probability
+// p. Every successful trial performs a real quorum signature and verifies
+// it — the measurement exercises the actual signing path, not a counter.
+func RunAvailability(cfg AvailabilityConfig) (AvailabilityResult, error) {
+	if cfg.Bits == 0 {
+		cfg.Bits = 512
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 200
+	}
+	res, err := sharedrsa.DealerSplit(cfg.Bits, cfg.N, nil)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	ts, err := sharedrsa.Reshare(res.Public, res.Shares, cfg.M, nil)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	msg := []byte("availability probe")
+	out := AvailabilityResult{Config: cfg, Trials: cfg.Trials, Analytic: analyticAvailability(cfg.N, cfg.M, cfg.Downtime)}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		var quorum []int
+		for p := 1; p <= cfg.N; p++ {
+			if rng.Float64() >= cfg.Downtime {
+				quorum = append(quorum, p)
+			}
+		}
+		if len(quorum) < cfg.M {
+			continue
+		}
+		sig, err := ts.QuorumSign(msg, quorum)
+		if err != nil {
+			continue
+		}
+		if sharedrsa.Verify(msg, res.Public, sig) == nil {
+			out.Successes++
+		}
+	}
+	return out, nil
+}
+
+// analyticAvailability is Σ_{k=m..n} C(n,k)(1-p)^k p^(n-k).
+func analyticAvailability(n, m int, p float64) float64 {
+	total := 0.0
+	for k := m; k <= n; k++ {
+		total += binom(n, k) * pow(1-p, k) * pow(p, n-k)
+	}
+	return total
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+func pow(x float64, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= x
+	}
+	return r
+}
+
+// ForgeryConfig parameterizes the E4 simulation.
+type ForgeryConfig struct {
+	Domains int
+	Bits    int
+}
+
+// ForgeryResult compares the two AA designs under k compromised domains.
+type ForgeryResult struct {
+	Compromised  int
+	CaseIForged  bool // conventional key: attacker reached the lock box key
+	CaseIIForged bool // shared key: attacker combined k stolen shares
+}
+
+// RunForgery plays an attacker who has fully compromised k domains against
+// both designs:
+//
+//   - Case I: the key exists in one place; compromising any domain whose
+//     administrator has maintenance access to the AA yields the key
+//     (k ≥ 1 forges).
+//   - Case II: the attacker holds k exponent shares and tries to combine
+//     them into a signature; only k = n succeeds.
+func RunForgery(cfg ForgeryConfig, compromised int) (ForgeryResult, error) {
+	if cfg.Bits == 0 {
+		cfg.Bits = 512
+	}
+	out := ForgeryResult{Compromised: compromised}
+
+	// Case I.
+	dealer, err := sharedrsa.DealerSplit(cfg.Bits, cfg.Domains, nil)
+	if err != nil {
+		return out, err
+	}
+	passwords := make([]string, cfg.Domains)
+	for i := range passwords {
+		passwords[i] = fmt.Sprintf("pw%d", i+1)
+	}
+	box := sharedrsa.NewLockBox(dealer, passwords)
+	if compromised >= 1 {
+		// The insider path of Section 2.2: one privileged administrator
+		// with maintenance access exposes the key.
+		d := box.Compromise()
+		msg := []byte("forged certificate")
+		h := sharedrsa.HashMessage(msg, box.Public())
+		sig := sharedrsa.Signature{S: modExp(h, d, box.Public())}
+		out.CaseIForged = sharedrsa.Verify(msg, box.Public(), sig) == nil
+	}
+
+	// Case II.
+	shared, err := sharedrsa.DealerSplit(cfg.Bits, cfg.Domains, nil)
+	if err != nil {
+		return out, err
+	}
+	msg := []byte("forged certificate")
+	partials := make([]sharedrsa.PartialSignature, 0, compromised)
+	for i := 0; i < compromised && i < cfg.Domains; i++ {
+		p, err := sharedrsa.PartialSign(msg, shared.Public, shared.Shares[i])
+		if err != nil {
+			return out, err
+		}
+		partials = append(partials, p)
+	}
+	if len(partials) > 0 {
+		if _, err := sharedrsa.Combine(msg, shared.Public, partials, cfg.Domains); err == nil {
+			out.CaseIIForged = true
+		}
+	}
+	return out, nil
+}
+
+// Workload generates randomized joint-access workloads for the
+// authorization benchmarks: which co-signers participate and what they
+// request.
+type Workload struct {
+	rng *rand.Rand
+	// Users is the pool of co-signer names.
+	Users []string
+	// Quorum is how many co-signers each request carries.
+	Quorum int
+	// Ops cycles through operations.
+	Ops []string
+}
+
+// NewWorkload builds a workload generator.
+func NewWorkload(seed int64, users []string, quorum int, ops []string) *Workload {
+	us := make([]string, len(users))
+	copy(us, users)
+	os := make([]string, len(ops))
+	copy(os, ops)
+	return &Workload{rng: rand.New(rand.NewSource(seed)), Users: us, Quorum: quorum, Ops: os}
+}
+
+// RequestSpec is one generated request.
+type RequestSpec struct {
+	Signers []string
+	Op      string
+	Object  string
+}
+
+// Next draws the next request.
+func (w *Workload) Next() RequestSpec {
+	idx := w.rng.Perm(len(w.Users))
+	q := w.Quorum
+	if q > len(w.Users) {
+		q = len(w.Users)
+	}
+	signers := make([]string, q)
+	for i := 0; i < q; i++ {
+		signers[i] = w.Users[idx[i]]
+	}
+	return RequestSpec{
+		Signers: signers,
+		Op:      w.Ops[w.rng.Intn(len(w.Ops))],
+		Object:  "O",
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvailabilityMofN(t *testing.T) {
+	// E3: with 2-of-3 sharing and 20% downtime, availability should be
+	// high (analytic ≈ 0.896); with 3-of-3 it drops (≈ 0.512). The
+	// measured rate must track the closed form.
+	cases := []struct {
+		n, m int
+		p    float64
+	}{
+		{3, 2, 0.2},
+		{3, 3, 0.2},
+		{5, 3, 0.3},
+	}
+	for _, c := range cases {
+		res, err := RunAvailability(AvailabilityConfig{
+			N: c.n, M: c.m, Downtime: c.p, Trials: 300, Seed: 42, Bits: 512,
+		})
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", c.n, c.m, err)
+		}
+		if diff := math.Abs(res.Rate() - res.Analytic); diff > 0.08 {
+			t.Errorf("%s: measured deviates from analytic by %.3f", res, diff)
+		}
+	}
+}
+
+func TestAvailabilityMonotoneInM(t *testing.T) {
+	// Lowering m can only improve availability (Section 3.3's point).
+	prev := -1.0
+	for m := 5; m >= 2; m-- {
+		res, err := RunAvailability(AvailabilityConfig{
+			N: 5, M: m, Downtime: 0.25, Trials: 200, Seed: 7, Bits: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Analytic < prev-1e-9 {
+			t.Errorf("analytic availability decreased when lowering m to %d", m)
+		}
+		prev = res.Analytic
+	}
+}
+
+func TestAnalyticAvailabilityEdges(t *testing.T) {
+	if got := analyticAvailability(3, 1, 0); got != 1 {
+		t.Errorf("p=0 ⇒ availability 1, got %v", got)
+	}
+	if got := analyticAvailability(3, 1, 1); got != 0 {
+		t.Errorf("p=1 ⇒ availability 0, got %v", got)
+	}
+	// 2-of-3 at p=0.2: C(3,2)·0.8²·0.2 + 0.8³ = 0.384 + 0.512 = 0.896.
+	if got := analyticAvailability(3, 2, 0.2); math.Abs(got-0.896) > 1e-9 {
+		t.Errorf("2-of-3 @ 0.2 = %v, want 0.896", got)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestTrustLiabilityCaseIvsII(t *testing.T) {
+	// E4: the paper's central trust-liability comparison. One compromised
+	// domain forges under Case I; even n−1 compromised domains cannot
+	// forge under Case II; all n can (they hold the whole key).
+	for k := 0; k <= 3; k++ {
+		res, err := RunForgery(ForgeryConfig{Domains: 3, Bits: 512}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCaseI := k >= 1
+		wantCaseII := k >= 3
+		if res.CaseIForged != wantCaseI {
+			t.Errorf("k=%d: Case I forged=%v, want %v", k, res.CaseIForged, wantCaseI)
+		}
+		if res.CaseIIForged != wantCaseII {
+			t.Errorf("k=%d: Case II forged=%v, want %v", k, res.CaseIIForged, wantCaseII)
+		}
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	users := []string{"u1", "u2", "u3", "u4"}
+	w := NewWorkload(1, users, 2, []string{"read", "write"})
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		spec := w.Next()
+		if len(spec.Signers) != 2 {
+			t.Fatalf("quorum = %d", len(spec.Signers))
+		}
+		if spec.Signers[0] == spec.Signers[1] {
+			t.Fatal("duplicate signer in quorum")
+		}
+		if spec.Op != "read" && spec.Op != "write" {
+			t.Fatalf("op = %q", spec.Op)
+		}
+		for _, s := range spec.Signers {
+			seen[s] = true
+		}
+	}
+	if len(seen) < 4 {
+		t.Errorf("workload never used all users: %v", seen)
+	}
+	// Quorum larger than the pool is clamped.
+	w2 := NewWorkload(1, users[:2], 5, []string{"read"})
+	if got := w2.Next(); len(got.Signers) != 2 {
+		t.Errorf("clamped quorum = %d", len(got.Signers))
+	}
+}

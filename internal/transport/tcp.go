@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNode is a TCP-backed endpoint: it listens on its own address and
+// dials peers on demand (connections are cached per destination). Frames
+// are length-prefixed gob-encoded Envelopes.
+type TCPNode struct {
+	name     string
+	listener net.Listener
+
+	mu       sync.Mutex
+	peers    map[string]string // peer name -> address
+	conns    map[string]net.Conn
+	accepted map[net.Conn]bool
+	inbox    chan Envelope
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPNode)(nil)
+
+// ListenTCP starts a node listening on addr ("127.0.0.1:0" picks a free
+// port; use Addr to learn it).
+func ListenTCP(name, addr string) (*TCPNode, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		name:     name,
+		listener: l,
+		peers:    make(map[string]string),
+		conns:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]bool),
+		inbox:    make(chan Envelope, 1024),
+		closed:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listening address.
+func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
+
+// Name returns the node's name.
+func (n *TCPNode) Name() string { return n.name }
+
+// AddPeer registers a peer's address for dialing.
+func (n *TCPNode) AddPeer(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case n.inbox <- env:
+		case <-n.closed:
+			return
+		}
+	}
+}
+
+// Send dials (or reuses) the connection to the peer and writes one frame.
+func (n *TCPNode) Send(to, kind string, payload []byte) error {
+	n.mu.Lock()
+	conn, ok := n.conns[to]
+	if !ok {
+		addr, known := n.peers[to]
+		if !known {
+			n.mu.Unlock()
+			return fmt.Errorf("%s: %w", to, ErrUnknownPeer)
+		}
+		var err error
+		conn, err = net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+		}
+		n.conns[to] = conn
+	}
+	n.mu.Unlock()
+
+	env := Envelope{From: n.name, To: to, Kind: kind, Payload: payload}
+	if err := writeFrame(conn, env); err != nil {
+		n.mu.Lock()
+		delete(n.conns, to)
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Recv blocks for the next inbound envelope.
+func (n *TCPNode) Recv() (Envelope, error) {
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-n.closed:
+		return Envelope{}, ErrClosed
+	}
+}
+
+// RecvTimeout is Recv with a deadline.
+func (n *TCPNode) RecvTimeout(d time.Duration) (Envelope, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-n.closed:
+		return Envelope{}, ErrClosed
+	case <-timer.C:
+		return Envelope{}, fmt.Errorf("recv after %v: %w", d, ErrRecvTimeout)
+	}
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *TCPNode) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.listener.Close()
+		n.mu.Lock()
+		for _, c := range n.conns {
+			c.Close()
+		}
+		// Close accepted connections too: their readLoops may be blocked
+		// mid-frame and must be unblocked before wg.Wait can return.
+		for c := range n.accepted {
+			c.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// frame wire format: 4-byte big-endian length, then gob(Envelope).
+const maxFrame = 16 << 20
+
+func writeFrame(w io.Writer, env Envelope) error {
+	var buf frameBuffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(env); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.b)
+	return err
+}
+
+func readFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := gob.NewDecoder(newByteReader(body)).Decode(&env); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,215 @@
+// Package transport provides the message-passing substrate the coalition
+// protocols run on: a deterministic in-memory network with injectable
+// latency, loss and node failures (used by simulations and benchmarks),
+// and a TCP implementation with length-prefixed gob framing (used by the
+// runnable servers). Both satisfy the same interfaces so every protocol is
+// written once.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Envelope is one routed protocol message.
+type Envelope struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+// Sentinel errors.
+var (
+	// ErrClosed indicates the endpoint or network has been closed.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownPeer indicates a send to an unregistered name.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrNodeDown indicates the destination is failed (failure injection).
+	ErrNodeDown = errors.New("transport: node down")
+	// ErrDropped indicates the message was lost (loss injection).
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrRecvTimeout indicates RecvTimeout expired with no message.
+	ErrRecvTimeout = errors.New("transport: receive timeout")
+)
+
+// Endpoint is one principal's attachment to the network.
+type Endpoint interface {
+	// Name returns the endpoint's registered name.
+	Name() string
+	// Send routes a message to the named peer.
+	Send(to, kind string, payload []byte) error
+	// Recv blocks until a message arrives or the endpoint closes.
+	Recv() (Envelope, error)
+	// RecvTimeout is Recv with a deadline.
+	RecvTimeout(d time.Duration) (Envelope, error)
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Faults configures failure injection on the in-memory network.
+type Faults struct {
+	// Latency delays each delivery (0 = immediate).
+	Latency time.Duration
+	// DropEveryN drops every Nth message when > 0 (deterministic loss,
+	// reproducible in tests; probability-free by design).
+	DropEveryN int
+}
+
+// Memory is the in-memory network.
+type Memory struct {
+	mu      sync.Mutex
+	inboxes map[string]chan Envelope
+	down    map[string]bool
+	faults  Faults
+	sent    int
+	dropped int
+	closed  bool
+}
+
+// NewMemory returns an in-memory network with the given fault plan.
+func NewMemory(faults Faults) *Memory {
+	return &Memory{
+		inboxes: make(map[string]chan Envelope),
+		down:    make(map[string]bool),
+		faults:  faults,
+	}
+}
+
+// Endpoint registers (or re-attaches) the named endpoint. The inbox buffer
+// is sized generously; protocols in this repository are request/response
+// and never approach it.
+func (m *Memory) Endpoint(name string) Endpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.inboxes[name]
+	if !ok {
+		ch = make(chan Envelope, 1024)
+		m.inboxes[name] = ch
+	}
+	return &memEndpoint{net: m, name: name, inbox: ch}
+}
+
+// Fail marks a node as down: sends to it (and from it) error with
+// ErrNodeDown until Recover. This drives the availability experiment E3.
+func (m *Memory) Fail(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[name] = true
+}
+
+// Recover brings a failed node back.
+func (m *Memory) Recover(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.down, name)
+}
+
+// Down reports whether the node is failed.
+func (m *Memory) Down(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[name]
+}
+
+// Stats returns (sent, dropped) counters.
+func (m *Memory) Stats() (sent, dropped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent, m.dropped
+}
+
+// Close shuts the network down; all pending and future Recv calls fail.
+func (m *Memory) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, ch := range m.inboxes {
+		close(ch)
+	}
+}
+
+func (m *Memory) send(env Envelope) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.down[env.From] || m.down[env.To] {
+		m.mu.Unlock()
+		return fmt.Errorf("%s → %s: %w", env.From, env.To, ErrNodeDown)
+	}
+	ch, ok := m.inboxes[env.To]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%s: %w", env.To, ErrUnknownPeer)
+	}
+	m.sent++
+	if m.faults.DropEveryN > 0 && m.sent%m.faults.DropEveryN == 0 {
+		m.dropped++
+		m.mu.Unlock()
+		return fmt.Errorf("%s → %s: %w", env.From, env.To, ErrDropped)
+	}
+	latency := m.faults.Latency
+	m.mu.Unlock()
+
+	deliver := func() error {
+		select {
+		case ch <- env:
+			return nil
+		default:
+			return fmt.Errorf("%s inbox full: %w", env.To, ErrDropped)
+		}
+	}
+	if latency > 0 {
+		timer := time.AfterFunc(latency, func() { _ = deliver() })
+		_ = timer
+		return nil
+	}
+	return deliver()
+}
+
+type memEndpoint struct {
+	net   *Memory
+	name  string
+	inbox chan Envelope
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Name() string { return e.name }
+
+func (e *memEndpoint) Send(to, kind string, payload []byte) error {
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	return e.net.send(Envelope{From: e.name, To: to, Kind: kind, Payload: p})
+}
+
+func (e *memEndpoint) Recv() (Envelope, error) {
+	env, ok := <-e.inbox
+	if !ok {
+		return Envelope{}, ErrClosed
+	}
+	return env, nil
+}
+
+func (e *memEndpoint) RecvTimeout(d time.Duration) (Envelope, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case env, ok := <-e.inbox:
+		if !ok {
+			return Envelope{}, ErrClosed
+		}
+		return env, nil
+	case <-timer.C:
+		return Envelope{}, fmt.Errorf("recv after %v: %w", d, ErrRecvTimeout)
+	}
+}
+
+func (e *memEndpoint) Close() error { return nil }

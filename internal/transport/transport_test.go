@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemorySendRecv(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	if err := a.Send("B", "ping", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "A" || env.To != "B" || env.Kind != "ping" || string(env.Payload) != "hello" {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+func TestMemoryUnknownPeer(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	a := net.Endpoint("A")
+	if err := a.Send("ghost", "k", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to ghost: %v", err)
+	}
+}
+
+func TestMemoryFailureInjection(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	a := net.Endpoint("A")
+	net.Endpoint("B")
+	net.Fail("B")
+	if !net.Down("B") {
+		t.Fatal("B should be down")
+	}
+	if err := a.Send("B", "k", nil); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("send to downed node: %v", err)
+	}
+	net.Recover("B")
+	if net.Down("B") {
+		t.Fatal("B should be up")
+	}
+	if err := a.Send("B", "k", nil); err != nil {
+		t.Errorf("send after recovery: %v", err)
+	}
+	// A failed sender cannot send either.
+	net.Fail("A")
+	if err := a.Send("B", "k", nil); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("send from downed node: %v", err)
+	}
+}
+
+func TestMemoryDeterministicLoss(t *testing.T) {
+	net := NewMemory(Faults{DropEveryN: 3})
+	defer net.Close()
+	a := net.Endpoint("A")
+	net.Endpoint("B")
+	var drops int
+	for i := 0; i < 9; i++ {
+		if err := a.Send("B", "k", nil); errors.Is(err, ErrDropped) {
+			drops++
+		}
+	}
+	if drops != 3 {
+		t.Errorf("drops = %d, want 3 (every 3rd)", drops)
+	}
+	sent, dropped := net.Stats()
+	if sent != 9 || dropped != 3 {
+		t.Errorf("stats = %d sent, %d dropped", sent, dropped)
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	net := NewMemory(Faults{Latency: 20 * time.Millisecond})
+	defer net.Close()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	start := time.Now()
+	if err := a.Send("B", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestMemoryRecvTimeout(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	b := net.Endpoint("B")
+	if _, err := b.RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Errorf("timeout: %v", err)
+	}
+}
+
+func TestMemoryClose(t *testing.T) {
+	net := NewMemory(Faults{})
+	a := net.Endpoint("A")
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	net.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close: %v", err)
+	}
+	if err := a.Send("A", "k", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	net.Close() // idempotent
+}
+
+func TestMemoryPayloadCopied(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	payload := []byte("original")
+	if err := a.Send("B", "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X'
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "original" {
+		t.Error("payload aliased caller's buffer")
+	}
+}
+
+func TestMemoryConcurrentSenders(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	dst := net.Endpoint("dst")
+	const senders, each = 8, 20
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		src := net.Endpoint(fmt.Sprintf("s%d", i))
+		wg.Add(1)
+		go func(e Endpoint) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if err := e.Send("dst", "k", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+	for i := 0; i < senders*each; i++ {
+		if _, err := dst.RecvTimeout(time.Second); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("B", b.Addr())
+	b.AddPeer("A", a.Addr())
+
+	if err := a.Send("B", "req", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "A" || string(env.Payload) != "over tcp" {
+		t.Errorf("envelope = %+v", env)
+	}
+	// Reply re-uses the reverse path.
+	if err := b.Send("A", "resp", []byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	env2, err := a.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Kind != "resp" || string(env2.Payload) != "ack" {
+		t.Errorf("reply = %+v", env2)
+	}
+}
+
+func TestTCPManyFrames(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("B", b.Addr())
+	const count = 100
+	for i := 0; i < count; i++ {
+		if err := a.Send("B", "seq", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		env, err := b.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: got %d", i, env.Payload[0])
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("nowhere", "k", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to unknown peer: %v", err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("recv after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}

@@ -1,0 +1,353 @@
+// Package jointadmin is the public API of the reproduction of Khurana,
+// Gligor and Linn, "Reasoning about Joint Administration of Access
+// Policies for Coalition Resources" (ICDCS 2002).
+//
+// It wires the substrates together into the deployment of Figure 1:
+//
+//   - an Alliance of autonomous domains, each with its own identity CA,
+//   - a joint coalition Attribute Authority whose RSA private key exists
+//     only as distributed shares held by the member domains (Case II of
+//     Section 2.2; Boneh–Franklin generation, joint signatures),
+//   - threshold attribute certificates granting m-of-n groups of users
+//     access to jointly owned objects, and
+//   - coalition servers that decide joint access requests by running the
+//     authorization protocol of Section 4.3 as a derivation in the
+//     paper's access-control logic, with full proof traces in the audit
+//     log.
+//
+// Quickstart:
+//
+//	a, err := jointadmin.NewAlliance("genetics", []string{"D1", "D2", "D3"})
+//	a.EnrollUser("D1", "alice")
+//	a.EnrollUser("D2", "bob")
+//	a.EnrollUser("D3", "carol")
+//	a.GrantThreshold("G_write", 2, "alice", "bob", "carol")
+//	srv, err := a.NewServer("P")
+//	srv.CreateObject("O", map[string][]string{"G_write": {"write"}}, []byte("v1"))
+//	dec, err := a.JointRequest(srv, "G_write", "write", "O", []byte("v2"), "alice", "bob")
+package jointadmin
+
+import (
+	"errors"
+	"fmt"
+
+	"jointadmin/internal/acl"
+	"jointadmin/internal/audit"
+	"jointadmin/internal/authz"
+	"jointadmin/internal/clock"
+	"jointadmin/internal/coalition"
+	"jointadmin/internal/pki"
+)
+
+// Sentinel errors re-exported for callers.
+var (
+	// ErrDenied is returned when the authorization protocol denies access.
+	ErrDenied = authz.ErrDenied
+	// ErrNoGroup indicates a request against a group with no certificate.
+	ErrNoGroup = errors.New("jointadmin: no certificate issued for group")
+)
+
+// Option configures an Alliance.
+type Option func(*options)
+
+type options struct {
+	keyBits     int
+	distributed bool
+	freshness   int64
+	start       clock.Time
+	validity    int64
+}
+
+func defaults() options {
+	return options{keyBits: 512, freshness: 0, start: 100, validity: 1_000_000}
+}
+
+// WithKeyBits sets the RSA modulus size (default 512; use ≥ 1024 for
+// anything but experiments).
+func WithKeyBits(bits int) Option { return func(o *options) { o.keyBits = bits } }
+
+// WithDistributedKeygen selects the real Boneh–Franklin distributed key
+// generation for the coalition AA (slower; the default uses a dealer fast
+// path that keeps every other protocol identical).
+func WithDistributedKeygen() Option { return func(o *options) { o.distributed = true } }
+
+// WithFreshnessWindow bounds |server time − request timestamp|.
+func WithFreshnessWindow(ticks int64) Option { return func(o *options) { o.freshness = ticks } }
+
+// WithStartTime sets the alliance clock's initial value.
+func WithStartTime(t clock.Time) Option { return func(o *options) { o.start = t } }
+
+// WithCertValidity sets how long issued certificates remain valid.
+func WithCertValidity(ticks int64) Option { return func(o *options) { o.validity = ticks } }
+
+// Alliance is a formed coalition with its authorities and users.
+type Alliance struct {
+	c    *coalition.Coalition
+	clk  *clock.Clock
+	opts options
+}
+
+// NewAlliance forms a coalition among the named domains.
+func NewAlliance(name string, domains []string, opts ...Option) (*Alliance, error) {
+	o := defaults()
+	for _, f := range opts {
+		f(&o)
+	}
+	clk := clock.New(o.start)
+	c, err := coalition.Form(name, domains, coalition.Config{
+		KeyBits:           o.keyBits,
+		DistributedKeygen: o.distributed,
+	}, clk)
+	if err != nil {
+		return nil, fmt.Errorf("jointadmin: form alliance: %w", err)
+	}
+	return &Alliance{c: c, clk: clk, opts: o}, nil
+}
+
+// Clock returns the alliance's simulated clock.
+func (a *Alliance) Clock() *clock.Clock { return a.clk }
+
+// Coalition exposes the underlying coalition for advanced use (dynamics,
+// certificates, raw authorities).
+func (a *Alliance) Coalition() *coalition.Coalition { return a.c }
+
+// Domains returns the member domains.
+func (a *Alliance) Domains() []string { return a.c.Domains() }
+
+func (a *Alliance) validity() clock.Interval {
+	now := a.clk.Now()
+	return clock.NewInterval(now-1, now.Add(a.opts.validity))
+}
+
+// EnrollUser registers a user in a domain and issues its identity
+// certificate.
+func (a *Alliance) EnrollUser(domain, user string) error {
+	_, err := a.c.AddUser(domain, user, a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: enroll %s: %w", user, err)
+	}
+	return nil
+}
+
+// GrantThreshold issues a threshold attribute certificate: m of the named
+// users must co-sign to exercise the group's privileges. All member
+// domains jointly sign the certificate (Requirement III).
+func (a *Alliance) GrantThreshold(group string, m int, users ...string) error {
+	_, err := a.c.IssueThreshold(group, m, users, a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: grant %s: %w", group, err)
+	}
+	return nil
+}
+
+// GrantSelective issues a single-subject attribute certificate: the named
+// user, signing with exactly its bound key, speaks for the group (the
+// selective distribution of privileges, axiom A35).
+func (a *Alliance) GrantSelective(group, user string) error {
+	_, err := a.c.IssueSelective(group, user, a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: grant selective %s: %w", group, err)
+	}
+	return nil
+}
+
+// SelectiveRequest submits a request under a single-subject certificate.
+func (a *Alliance) SelectiveRequest(s *Server, group, op, object string, payload []byte, user string) (Decision, error) {
+	cert, ok := a.c.SelectiveCertificate(group)
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %s", ErrNoGroup, group)
+	}
+	idc, err := a.c.IdentityOf(user, a.validity())
+	if err != nil {
+		return Decision{}, fmt.Errorf("jointadmin: identity of %s: %w", user, err)
+	}
+	kp, err := a.c.UserKey(user)
+	if err != nil {
+		return Decision{}, fmt.Errorf("jointadmin: key of %s: %w", user, err)
+	}
+	r, err := authz.SignRequest(user, a.clk.Now(), acl.Permission(op), object, payload, kp)
+	if err != nil {
+		return Decision{}, err
+	}
+	req := authz.AccessRequest{
+		SingleSubject: true,
+		Single:        cert,
+		Identities:    []pki.Signed[pki.Identity]{idc},
+		Requests:      []authz.UserRequest{r},
+	}
+	return s.inner.Authorize(req)
+}
+
+// Revoke asks the revocation authority to revoke the group's certificate
+// (threshold or selective) effective now and delivers the revocation to
+// the given servers.
+func (a *Alliance) Revoke(group string, servers ...*Server) error {
+	var (
+		rev pki.Signed[pki.Revocation]
+		err error
+	)
+	if cert, ok := a.c.Certificate(group); ok {
+		rev, err = a.c.RA().Revoke(cert, a.clk.Now())
+	} else if single, ok := a.c.SelectiveCertificate(group); ok {
+		rev, err = a.c.RA().RevokeAttribute(single, a.clk.Now())
+	} else {
+		return fmt.Errorf("%w: %s", ErrNoGroup, group)
+	}
+	if err != nil {
+		return fmt.Errorf("jointadmin: revoke %s: %w", group, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.ProcessRevocation(rev); err != nil {
+			return fmt.Errorf("jointadmin: deliver revocation to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// LinkGroups issues a privilege-inheritance certificate (members of sub
+// inherit sup's privileges) under full domain consensus and delivers it to
+// the given servers.
+func (a *Alliance) LinkGroups(sub, sup string, servers ...*Server) error {
+	cert, err := a.c.AA().IssueGroupLink(sub, sup, a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: link %s ⇒ %s: %w", sub, sup, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.ProcessGroupLink(cert); err != nil {
+			return fmt.Errorf("jointadmin: deliver group link to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// RevokeIdentity withdraws a user's key binding at its domain CA and
+// delivers the identity revocation to the given servers: the user's signed
+// requests are denied from now on, even under still-valid attribute
+// certificates.
+func (a *Alliance) RevokeIdentity(user string, servers ...*Server) error {
+	rev, err := a.c.RevokeUserIdentity(user)
+	if err != nil {
+		return fmt.Errorf("jointadmin: revoke identity of %s: %w", user, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.ProcessIdentityRevocation(rev); err != nil {
+			return fmt.Errorf("jointadmin: deliver identity revocation to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Join admits a new domain, re-keying the AA and re-issuing certificates.
+func (a *Alliance) Join(domain string) (coalition.RekeyReport, error) {
+	return a.c.Join(domain)
+}
+
+// Leave removes a domain, re-keying the AA.
+func (a *Alliance) Leave(domain string) (coalition.RekeyReport, error) {
+	return a.c.Leave(domain)
+}
+
+// Server is a coalition application server with its object store and
+// audit log.
+type Server struct {
+	name  string
+	inner *authz.Server
+	store *acl.Store
+	log   *audit.Log
+}
+
+// NewServer creates a coalition server anchored at the alliance's current
+// key epoch. After Join/Leave, create a new server (or re-anchor) — the
+// paper's dynamics cost includes exactly this re-distribution.
+func (a *Alliance) NewServer(name string) (*Server, error) {
+	store := acl.NewStore(a.clk)
+	log := audit.NewLog()
+	inner := authz.NewServer(name, a.clk, a.c.Anchors(a.opts.freshness), store, log)
+	return &Server{name: name, inner: inner, store: store, log: log}, nil
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Audit returns the server's audit log.
+func (s *Server) Audit() *audit.Log { return s.log }
+
+// Authz exposes the underlying protocol server.
+func (s *Server) Authz() *authz.Server { return s.inner }
+
+// CreateObject installs a jointly owned object with its ACL, given as
+// group → permission names.
+func (s *Server) CreateObject(name string, aclSpec map[string][]string, content []byte) error {
+	var entries []acl.Entry
+	for g, perms := range aclSpec {
+		ps := make([]acl.Permission, len(perms))
+		for i, p := range perms {
+			ps[i] = acl.Permission(p)
+		}
+		entries = append(entries, acl.Entry{Group: g, Perms: ps})
+	}
+	built, err := acl.NewACL(entries...)
+	if err != nil {
+		return fmt.Errorf("jointadmin: create %s: %w", name, err)
+	}
+	if err := s.store.Create(name, built, content, "G_policy"); err != nil {
+		return fmt.Errorf("jointadmin: create %s: %w", name, err)
+	}
+	return nil
+}
+
+// ReadObject returns the object's current content (no authorization — for
+// inspection in examples and tests; access-controlled reads go through
+// JointRequest).
+func (s *Server) ReadObject(name string) ([]byte, error) {
+	return s.store.Read(name)
+}
+
+// Decision re-exports the authorization decision.
+type Decision = authz.Decision
+
+// JointRequest builds and submits a joint access request: the named
+// signers co-sign "op object" (with optional payload), and the request is
+// decided by the server's authorization protocol.
+func (a *Alliance) JointRequest(s *Server, group, op, object string, payload []byte, signers ...string) (Decision, error) {
+	cert, ok := a.c.Certificate(group)
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %s", ErrNoGroup, group)
+	}
+	req := authz.AccessRequest{Threshold: cert}
+	for _, u := range signers {
+		idc, err := a.c.IdentityOf(u, a.validity())
+		if err != nil {
+			return Decision{}, fmt.Errorf("jointadmin: identity of %s: %w", u, err)
+		}
+		kp, err := a.c.UserKey(u)
+		if err != nil {
+			return Decision{}, fmt.Errorf("jointadmin: key of %s: %w", u, err)
+		}
+		r, err := authz.SignRequest(u, a.clk.Now(), acl.Permission(op), object, payload, kp)
+		if err != nil {
+			return Decision{}, err
+		}
+		req.Identities = append(req.Identities, idc)
+		req.Requests = append(req.Requests, r)
+	}
+	return s.inner.Authorize(req)
+}
+
+// Request is the lower-level entry point taking a pre-built access
+// request (for callers that transport requests over the wire).
+func (s *Server) Request(req authz.AccessRequest) (Decision, error) {
+	return s.inner.Authorize(req)
+}
+
+// BoundSubjectsOf lists the subjects bound into the group's certificate —
+// useful for display.
+func (a *Alliance) BoundSubjectsOf(group string) ([]pki.BoundSubject, error) {
+	cert, ok := a.c.Certificate(group)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoGroup, group)
+	}
+	subs := make([]pki.BoundSubject, len(cert.Cert.Subjects))
+	copy(subs, cert.Cert.Subjects)
+	return subs, nil
+}

@@ -1,0 +1,83 @@
+package jointadmin
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSelectiveGrantAndRequest(t *testing.T) {
+	a, srv := newGeneticsAlliance(t)
+	// carol alone gets a personal auditor credential bound to her key.
+	if err := a.GrantSelective("G_audit", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CreateObject("AuditLog", map[string][]string{
+		"G_audit": {"read"},
+	}, []byte("audit records")); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := a.SelectiveRequest(srv, "G_audit", "read", "AuditLog", nil, "carol")
+	if err != nil {
+		t.Fatalf("selective read: %v", err)
+	}
+	if string(dec.Data) != "audit records" {
+		t.Errorf("data = %q", dec.Data)
+	}
+	// alice does not hold the credential.
+	if _, err := a.SelectiveRequest(srv, "G_audit", "read", "AuditLog", nil, "alice"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("non-subject selective read: %v", err)
+	}
+	// Unknown group.
+	if _, err := a.SelectiveRequest(srv, "G_ghost", "read", "AuditLog", nil, "carol"); !errors.Is(err, ErrNoGroup) {
+		t.Fatalf("unknown group: %v", err)
+	}
+}
+
+func TestSelectiveSurvivesRekey(t *testing.T) {
+	a, _ := newGeneticsAlliance(t)
+	if err := a.GrantSelective("G_audit", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Join("D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 threshold + 1 selective revoked and re-issued.
+	if report.CertsRevoked != 3 || report.CertsReissued != 3 {
+		t.Errorf("report = %+v, want 3 revoked / 3 re-issued", report)
+	}
+	srv, err := a.NewServer("P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CreateObject("AuditLog", map[string][]string{
+		"G_audit": {"read"},
+	}, []byte("records")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SelectiveRequest(srv, "G_audit", "read", "AuditLog", nil, "carol"); err != nil {
+		t.Fatalf("selective read after rekey: %v", err)
+	}
+}
+
+func TestSelectiveRevocationViaFacade(t *testing.T) {
+	a, srv := newGeneticsAlliance(t)
+	if err := a.GrantSelective("G_audit", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CreateObject("AuditLog", map[string][]string{
+		"G_audit": {"read"},
+	}, []byte("records")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SelectiveRequest(srv, "G_audit", "read", "AuditLog", nil, "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Revoke("G_audit", srv); err != nil {
+		t.Fatal(err)
+	}
+	a.Clock().Tick()
+	if _, err := a.SelectiveRequest(srv, "G_audit", "read", "AuditLog", nil, "carol"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("selective read after revocation: %v", err)
+	}
+}
