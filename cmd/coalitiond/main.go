@@ -1,10 +1,15 @@
 // Command coalitiond runs a coalition policy server over TCP: it forms an
 // alliance, enrolls demo users, installs a jointly owned object, and then
-// serves joint access requests, revocations, dynamics events and audit
-// queries from policyctl.
+// serves joint access requests, revocations, dynamics events, audit and
+// stats queries from policyctl.
 //
-//	go run ./cmd/coalitiond -listen 127.0.0.1:7707
+//	go run ./cmd/coalitiond -listen 127.0.0.1:7707 -metrics-addr 127.0.0.1:7780
 //	go run ./cmd/policyctl  -server 127.0.0.1:7707 -cmd write -signers alice,bob -data "v2"
+//	go run ./cmd/policyctl  -server 127.0.0.1:7707 -cmd stats
+//
+// With -metrics-addr set, the daemon serves its observability endpoints on
+// that address: /metrics (Prometheus text), /debug/vars (JSON snapshot +
+// memstats) and /debug/pprof/ (see docs/OPERATIONS.md).
 //
 // The protocol and alliance logic live in internal/daemon; this command is
 // the thin process wrapper.
@@ -13,9 +18,11 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"strings"
 
 	"jointadmin/internal/daemon"
+	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
 
@@ -24,8 +31,9 @@ func main() {
 	domains := flag.String("domains", "D1,D2,D3", "comma-separated member domains")
 	users := flag.String("users", "alice,bob,carol", "comma-separated demo users (assigned to domains round-robin)")
 	writeM := flag.Int("write-threshold", 2, "co-signers required for writes")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
-	if err := run(*listen, splitCSV(*domains), splitCSV(*users), *writeM); err != nil {
+	if err := run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -40,11 +48,13 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func run(listen string, domains, users []string, writeM int) error {
+func run(listen, metricsAddr string, domains, users []string, writeM int) error {
+	reg := obs.NewRegistry()
 	d, err := daemon.New(daemon.Config{
 		Domains:        domains,
 		Users:          users,
 		WriteThreshold: writeM,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -54,6 +64,15 @@ func run(listen string, domains, users []string, writeM int) error {
 		return err
 	}
 	defer node.Close()
+	node.Instrument(reg)
+	if metricsAddr != "" {
+		go func() {
+			log.Printf("coalitiond metrics on http://%s/metrics (also /debug/vars, /debug/pprof/)", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, obs.Handler(reg)); err != nil {
+				log.Printf("coalitiond: metrics listener: %v", err)
+			}
+		}()
+	}
 	log.Printf("coalitiond serving on %s (domains=%v users=%v write-threshold=%d)",
 		node.Addr(), domains, users, writeM)
 	return d.Serve(node)

@@ -89,6 +89,7 @@ func run(flow string) error {
 		}
 		fmt.Println(dec.Proof.String())
 		fmt.Printf("Step 4: (G_write, write O) ∈ ACL_O and validity spans the request ⇒ ACCESS APPROVED\n")
+		printTrace(srv, dec.RequestID)
 	case "read":
 		fmt.Println("Figure 2(d): User_D3 alone requests `read O` (1-of-3 suffices)")
 		fmt.Println()
@@ -98,6 +99,7 @@ func run(flow string) error {
 		}
 		fmt.Println(dec.Proof.String())
 		fmt.Printf("Step 4: (G_read, read O) ∈ ACL_O ⇒ ACCESS APPROVED; returned %q\n", dec.Data)
+		printTrace(srv, dec.RequestID)
 	case "revoke":
 		fmt.Println("Reasoning about revocation (Section 4.3, message 2 / statement 26)")
 		fmt.Println()
@@ -121,4 +123,15 @@ func run(flow string) error {
 		os.Exit(2)
 	}
 	return nil
+}
+
+// printTrace shows the per-step derivation trace the server recorded for
+// the request in its audit log (the same trace policyctl retrieves with
+// -cmd audit).
+func printTrace(srv *jointadmin.Server, requestID string) {
+	entry, ok := srv.Audit().ByRequestID(requestID)
+	if !ok || entry.TraceString() == "" {
+		return
+	}
+	fmt.Printf("\ntrace [%s]: %s\n", requestID, entry.TraceString())
 }

@@ -1,11 +1,16 @@
 // Command policyctl is the admin client for coalitiond: it submits joint
-// access requests, revocations, coalition-dynamics events, and audit
-// queries over TCP.
+// access requests, revocations, coalition-dynamics events, audit queries
+// and metrics queries over TCP.
 //
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd write -signers alice,bob -data "v2"
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd read  -signers carol
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd audit
+//	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd stats
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd join -domain D4
+//
+// stats pretty-prints the daemon's metrics snapshot: command counters,
+// denial taxonomy, and per-step latency histograms (count / mean / p50 /
+// p99). See docs/OPERATIONS.md for the metric catalog.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
 
@@ -39,7 +45,7 @@ type Reply struct {
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7707", "coalitiond address")
-	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, join, leave")
+	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, stats, join, leave")
 	group := flag.String("group", "", "group name (defaults per command)")
 	object := flag.String("object", "", "object name (default O)")
 	data := flag.String("data", "", "write payload")
@@ -98,10 +104,59 @@ func run(server string, cmd Command, timeout time.Duration) error {
 		fmt.Println(reply.Detail)
 	}
 	if reply.Data != "" {
-		fmt.Println(reply.Data)
+		if cmd.Cmd == "stats" && reply.OK {
+			printStats(reply.Data)
+		} else {
+			fmt.Println(reply.Data)
+		}
 	}
 	if !reply.OK {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// printStats pretty-prints the daemon's metrics snapshot: counters and
+// gauges as aligned name/value columns, histograms as count / mean / p50 /
+// p99 (latencies rendered as durations).
+func printStats(data string) {
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(data), &snap); err != nil {
+		fmt.Println(data) // not a snapshot; show raw
+		return
+	}
+	width := 0
+	for _, c := range snap.Counters {
+		width = max(width, len(c.Name))
+	}
+	for _, g := range snap.Gauges {
+		width = max(width, len(g.Name))
+	}
+	for _, h := range snap.Histograms {
+		width = max(width, len(h.Name))
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Println("COUNTERS")
+		for _, c := range snap.Counters {
+			fmt.Printf("  %-*s %10d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("GAUGES")
+		for _, g := range snap.Gauges {
+			fmt.Printf("  %-*s %10d\n", width, g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("HISTOGRAMS" + strings.Repeat(" ", max(0, width-8)) + "count       mean        p50        p99")
+		for _, h := range snap.Histograms {
+			fmt.Printf("  %-*s %10d %10s %10s %10s\n", width, h.Name, h.Count,
+				dur(h.Mean()), dur(h.Quantile(0.5)), dur(h.Quantile(0.99)))
+		}
+	}
+}
+
+// dur renders a seconds value as a rounded duration.
+func dur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"jointadmin/internal/clock"
 )
@@ -38,6 +39,33 @@ func (o Outcome) String() string {
 	}
 }
 
+// Span is one timed protocol step within a request's evaluation: the
+// derivation-as-audit-artifact view of the authorization protocol. The
+// authz server records one span per protocol step (Appendix E Steps 1–4,
+// plus freshness and execution), each with its wall-clock duration and
+// outcome, so an operator can see exactly where a request was denied and
+// how long every step took.
+type Span struct {
+	// Step names the protocol step (e.g. "step1_certs", "step4_acl").
+	Step string `json:"step"`
+	// Outcome is "ok" for a step that passed, "denied" for the step that
+	// rejected the request.
+	Outcome string `json:"outcome"`
+	// Detail carries the denial reason on the failing step.
+	Detail string `json:"detail,omitempty"`
+	// Duration is the step's wall-clock time.
+	Duration time.Duration `json:"duration"`
+}
+
+// String renders the span as "step outcome duration".
+func (s Span) String() string {
+	out := fmt.Sprintf("%s %s %s", s.Step, s.Outcome, s.Duration.Round(time.Microsecond))
+	if s.Detail != "" {
+		out += " (" + s.Detail + ")"
+	}
+	return out
+}
+
 // Entry is one audited decision.
 type Entry struct {
 	Seq       int
@@ -49,14 +77,37 @@ type Entry struct {
 	Object    string
 	Group     string
 	Reason    string
+	// RequestID correlates this entry with the daemon's metrics and logs:
+	// the authz server assigns one per evaluated request.
+	RequestID string
+	// Spans is the step-labeled timing trace of the request's evaluation,
+	// ordered as the protocol ran.
+	Spans []Span
 	// ProofTrace is the rendered derivation that justified the decision.
 	ProofTrace string
 }
 
 // String renders a one-line summary.
 func (e Entry) String() string {
-	return fmt.Sprintf("#%d %s %s: %s %q on %q via %s (%s)",
-		e.Seq, e.At, e.Outcome, e.Requestor, e.Operation, e.Object, e.Group, e.Reason)
+	id := ""
+	if e.RequestID != "" {
+		id = " [" + e.RequestID + "]"
+	}
+	return fmt.Sprintf("#%d %s %s%s: %s %q on %q via %s (%s)",
+		e.Seq, e.At, e.Outcome, id, e.Requestor, e.Operation, e.Object, e.Group, e.Reason)
+}
+
+// TraceString renders the span trace as a single "a; b; c" line ("" when
+// the entry has no spans).
+func (e Entry) TraceString() string {
+	if len(e.Spans) == 0 {
+		return ""
+	}
+	parts := make([]string, len(e.Spans))
+	for i, s := range e.Spans {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Log is a thread-safe append-only audit log.
@@ -93,6 +144,18 @@ func (l *Log) Len() int {
 	return len(l.entries)
 }
 
+// ByRequestID returns the entry recorded for the given request ID.
+func (l *Log) ByRequestID(id string) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.RequestID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
 // ByOutcome returns the entries with the given outcome.
 func (l *Log) ByOutcome(o Outcome) []Entry {
 	l.mu.Lock()
@@ -106,7 +169,8 @@ func (l *Log) ByOutcome(o Outcome) []Entry {
 	return out
 }
 
-// Render formats the full log for human review.
+// Render formats the full log for human review: one summary line per
+// entry, followed by the indented step trace when one was recorded.
 func (l *Log) Render() string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -114,6 +178,11 @@ func (l *Log) Render() string {
 	for _, e := range l.entries {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
+		if tr := e.TraceString(); tr != "" {
+			b.WriteString("    trace: ")
+			b.WriteString(tr)
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

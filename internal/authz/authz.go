@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"jointadmin/internal/acl"
 	"jointadmin/internal/audit"
 	"jointadmin/internal/clock"
 	"jointadmin/internal/logic"
+	"jointadmin/internal/obs"
 	"jointadmin/internal/pki"
 	"jointadmin/internal/sharedrsa"
 )
@@ -118,6 +121,8 @@ type Decision struct {
 	Allowed bool
 	Group   string
 	Reason  string
+	// RequestID correlates the decision with its audit entry and metrics.
+	RequestID string
 	// Proof is the derivation that justified the decision (nil on
 	// cryptographic rejection before any derivation started).
 	Proof *logic.Proof
@@ -132,6 +137,11 @@ type Server struct {
 	anchors TrustAnchors
 	objects *acl.Store
 	log     *audit.Log
+
+	// reg receives the server's metrics (Instrument); nil drops them.
+	reg *obs.Registry
+	// reqSeq numbers evaluated requests for audit/metrics correlation.
+	reqSeq atomic.Uint64
 
 	mu  sync.Mutex
 	eng *logic.Engine
@@ -210,8 +220,15 @@ func (s *Server) Engine() *logic.Engine {
 // Objects exposes the server's object store.
 func (s *Server) Objects() *acl.Store { return s.objects }
 
-// deny records and returns a denial.
-func (s *Server) deny(req *AccessRequest, group, reason string, proof *logic.Proof) (Decision, error) {
+// deny closes the trace's current span as denied, records the denial in
+// the metrics and the audit log (step-labeled), and returns it.
+func (s *Server) deny(tr *reqTrace, req *AccessRequest, group, reason string, proof *logic.Proof) (Decision, error) {
+	step := tr.step
+	if step == "" {
+		step = StepFreshness
+	}
+	tr.end("denied", reason)
+	tr.finish(false, step)
 	requestor := ""
 	var op acl.Permission
 	object := ""
@@ -228,23 +245,28 @@ func (s *Server) deny(req *AccessRequest, group, reason string, proof *logic.Pro
 		s.log.Record(audit.Entry{
 			At: s.clk.Now(), Outcome: audit.Denied, Server: s.name,
 			Requestor: requestor, Operation: string(op), Object: object,
-			Group: group, Reason: reason, ProofTrace: trace,
+			Group: group, Reason: reason,
+			RequestID: tr.id, Spans: tr.spans, ProofTrace: trace,
 		})
 	}
-	return Decision{Allowed: false, Group: group, Reason: reason, Proof: proof},
+	return Decision{Allowed: false, Group: group, Reason: reason, RequestID: tr.id, Proof: proof},
 		fmt.Errorf("%w: %s", ErrDenied, reason)
 }
 
 // Authorize runs the full authorization protocol on a joint access request
-// and, if approved, performs the operation on the object store.
+// and, if approved, performs the operation on the object store. The
+// evaluation is traced: each protocol step becomes a timed span in the
+// audit entry, correlated by the decision's RequestID.
 func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	eng := s.eng
 	now := s.clk.Now()
+	tr := s.beginTrace()
 
+	tr.begin(StepFreshness)
 	if len(req.Requests) == 0 {
-		return s.deny(&req, "", "no signed request components", nil)
+		return s.deny(tr, &req, "", "no signed request components", nil)
 	}
 	op := req.Requests[0].Op
 	object := req.Requests[0].Object
@@ -257,40 +279,42 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 				delta = -delta
 			}
 			if delta > w {
-				return s.deny(&req, "", fmt.Sprintf("request of %s at %s outside freshness window (now %s): %v",
+				return s.deny(tr, &req, "", fmt.Sprintf("request of %s at %s outside freshness window (now %s): %v",
 					r.User, r.At, now, ErrStale), eng.Proof())
 			}
 		}
 	}
 
 	// ---- Step 1: verify the signing keys (messages 1-1, 1-2). ----
+	tr.begin(StepCerts)
 	userKeys := make(map[string]sharedrsa.PublicKey, len(req.Identities))
 	for _, idc := range req.Identities {
 		caKey, ok := s.anchors.CAKeys[idc.Cert.Issuer]
 		if !ok {
-			return s.deny(&req, "", "identity certificate from untrusted CA "+idc.Cert.Issuer, eng.Proof())
+			return s.deny(tr, &req, "", "identity certificate from untrusted CA "+idc.Cert.Issuer, eng.Proof())
 		}
 		if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
-			return s.deny(&req, "", "identity certificate invalid: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, "", "identity certificate invalid: "+err.Error(), eng.Proof())
 		}
 		caBelief, ok := eng.Store().KeyFor(idc.Cert.Issuer, now)
 		if !ok {
-			return s.deny(&req, "", "no key belief for CA "+idc.Cert.Issuer, eng.Proof())
+			return s.deny(tr, &req, "", "no key belief for CA "+idc.Cert.Issuer, eng.Proof())
 		}
 		if _, _, err := eng.VerifyCertificate(pki.IdealizeIdentity(idc), caBelief); err != nil {
-			return s.deny(&req, "", "identity derivation failed: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, "", "identity derivation failed: "+err.Error(), eng.Proof())
 		}
 		upk, err := idc.Cert.SubjectKey.PublicKey()
 		if err != nil {
-			return s.deny(&req, "", "identity certificate key malformed: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, "", "identity certificate key malformed: "+err.Error(), eng.Proof())
 		}
 		userKeys[idc.Cert.Subject] = upk
 	}
 
 	// ---- Step 2: establish group membership (message 1-3). ----
+	tr.begin(StepThreshold)
 	aaBelief, ok := eng.Store().KeyFor(s.anchors.AAName, now)
 	if !ok {
-		return s.deny(&req, "", "no key belief for AA", eng.Proof())
+		return s.deny(tr, &req, "", "no key belief for AA", eng.Proof())
 	}
 	var (
 		group        string
@@ -301,10 +325,10 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	if req.SingleSubject {
 		// A35 path: a single key-bound subject speaks for the group.
 		if err := pki.VerifyAttribute(req.Single, s.anchors.AAKey, now); err != nil {
-			return s.deny(&req, "", "attribute certificate invalid: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, "", "attribute certificate invalid: "+err.Error(), eng.Proof())
 		}
 		if req.Single.Cert.Issuer != s.anchors.AAName {
-			return s.deny(&req, "", "attribute certificate from unexpected issuer "+req.Single.Cert.Issuer, eng.Proof())
+			return s.deny(tr, &req, "", "attribute certificate from unexpected issuer "+req.Single.Cert.Issuer, eng.Proof())
 		}
 		group = req.Single.Cert.Group
 		ideal = pki.IdealizeAttribute(req.Single)
@@ -312,10 +336,10 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 		certValidity = clock.NewInterval(req.Single.Cert.NotBefore, req.Single.Cert.NotAfter)
 	} else {
 		if err := pki.VerifyThresholdAttribute(req.Threshold, s.anchors.AAKey, now); err != nil {
-			return s.deny(&req, "", "threshold attribute certificate invalid: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, "", "threshold attribute certificate invalid: "+err.Error(), eng.Proof())
 		}
 		if req.Threshold.Cert.Issuer != s.anchors.AAName {
-			return s.deny(&req, "", "threshold certificate from unexpected issuer "+req.Threshold.Cert.Issuer, eng.Proof())
+			return s.deny(tr, &req, "", "threshold certificate from unexpected issuer "+req.Threshold.Cert.Issuer, eng.Proof())
 		}
 		group = req.Threshold.Cert.Group
 		ideal = pki.IdealizeThresholdAttribute(req.Threshold)
@@ -327,41 +351,42 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	}
 	memF, memStep, err := eng.VerifyCertificate(ideal, aaBelief)
 	if err != nil {
-		return s.deny(&req, group, "membership derivation failed: "+err.Error(), eng.Proof())
+		return s.deny(tr, &req, group, "membership derivation failed: "+err.Error(), eng.Proof())
 	}
 	mem, ok := memF.(logic.MemberOf)
 	if !ok {
-		return s.deny(&req, group, "membership derivation produced unexpected formula", eng.Proof())
+		return s.deny(tr, &req, group, "membership derivation produced unexpected formula", eng.Proof())
 	}
 
 	// ---- Step 3: verify the signed request (message 1-4). ----
+	tr.begin(StepCosign)
 	var utterances []logic.Says
 	var utterSteps []int
 	for _, r := range req.Requests {
 		if r.Op != op || r.Object != object {
-			return s.deny(&req, group, "co-signers disagree on the request", eng.Proof())
+			return s.deny(tr, &req, group, "co-signers disagree on the request", eng.Proof())
 		}
 		upk, ok := userKeys[r.User]
 		if !ok {
-			return s.deny(&req, group, fmt.Sprintf("%s: %v", r.User, ErrMissingIdentity), eng.Proof())
+			return s.deny(tr, &req, group, fmt.Sprintf("%s: %v", r.User, ErrMissingIdentity), eng.Proof())
 		}
 		want, ok := boundKey[r.User]
 		if !ok {
-			return s.deny(&req, group, r.User+" is not a subject of the threshold certificate", eng.Proof())
+			return s.deny(tr, &req, group, r.User+" is not a subject of the threshold certificate", eng.Proof())
 		}
 		if upk.KeyID() != want {
-			return s.deny(&req, group, r.User+"'s identity key differs from the certificate binding", eng.Proof())
+			return s.deny(tr, &req, group, r.User+"'s identity key differs from the certificate binding", eng.Proof())
 		}
 		body, err := requestBody(r)
 		if err != nil {
-			return s.deny(&req, group, err.Error(), eng.Proof())
+			return s.deny(tr, &req, group, err.Error(), eng.Proof())
 		}
 		sigVal, ok := new(big.Int).SetString(r.SigS, 16)
 		if !ok {
-			return s.deny(&req, group, r.User+": malformed signature", eng.Proof())
+			return s.deny(tr, &req, group, r.User+": malformed signature", eng.Proof())
 		}
 		if err := sharedrsa.Verify(body, upk, sharedrsa.Signature{S: sigVal}); err != nil {
-			return s.deny(&req, group, r.User+": request signature invalid", eng.Proof())
+			return s.deny(tr, &req, group, r.User+": request signature invalid", eng.Proof())
 		}
 		// Idealize: ⟦User says_t ("op", object, payload-digest)⟧_Ku⁻¹.
 		content := idealContent(op, object, r.Payload)
@@ -372,11 +397,11 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 		}), logic.KeyID(upk.KeyID()))
 		keyBelief, ok := eng.Store().KeyFor(r.User, now)
 		if !ok {
-			return s.deny(&req, group, "no derived key belief for "+r.User, eng.Proof())
+			return s.deny(tr, &req, group, "no derived key belief for "+r.User, eng.Proof())
 		}
 		says, step, err := eng.VerifySignedRequest(ideal, keyBelief)
 		if err != nil {
-			return s.deny(&req, group, "request derivation failed: "+err.Error(), eng.Proof())
+			return s.deny(tr, &req, group, "request derivation failed: "+err.Error(), eng.Proof())
 		}
 		utterances = append(utterances, says)
 		utterSteps = append(utterSteps, step)
@@ -385,13 +410,14 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	// A38: conclude G says op (statement 25).
 	gs, _, err := eng.ConcludeGroupSays(mem, memStep, utterances, utterSteps)
 	if err != nil {
-		return s.deny(&req, group, "threshold not met: "+err.Error(), eng.Proof())
+		return s.deny(tr, &req, group, "threshold not met: "+err.Error(), eng.Proof())
 	}
 
 	// ---- Step 4: verify the ACL. ----
+	tr.begin(StepACL)
 	a, err := s.objects.ACLOf(object)
 	if err != nil {
-		return s.deny(&req, group, "object lookup: "+err.Error(), eng.Proof())
+		return s.deny(tr, &req, group, "object lookup: "+err.Error(), eng.Proof())
 	}
 	// Privilege inheritance: the group itself or any supergroup it speaks
 	// for (accepted group-link certificates) may appear on the ACL.
@@ -403,14 +429,15 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 		}
 	}
 	if !allowed {
-		return s.deny(&req, group, fmt.Sprintf("(%s, %s) ∉ ACL_%s (including inherited groups)", group, op, object), eng.Proof())
+		return s.deny(tr, &req, group, fmt.Sprintf("(%s, %s) ∉ ACL_%s (including inherited groups)", group, op, object), eng.Proof())
 	}
 	// Temporal condition: tb' ≤ t1 and t6 ≤ te'.
 	if certValidity.Begin > req.Requests[0].At || now > certValidity.End {
-		return s.deny(&req, group, "certificate validity does not span the request", eng.Proof())
+		return s.deny(tr, &req, group, "certificate validity does not span the request", eng.Proof())
 	}
 
 	// Execute.
+	tr.begin(StepExecute)
 	var data []byte
 	switch op {
 	case acl.Read:
@@ -430,19 +457,23 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 		err = fmt.Errorf("unsupported operation %q", op)
 	}
 	if err != nil {
-		return s.deny(&req, group, "execution failed: "+err.Error(), eng.Proof())
+		return s.deny(tr, &req, group, "execution failed: "+err.Error(), eng.Proof())
 	}
 
+	tr.endOK()
+	tr.finish(true, "")
 	if s.log != nil {
 		s.log.Record(audit.Entry{
 			At: now, Outcome: audit.Approved, Server: s.name,
 			Requestor: req.Requests[0].User, Operation: string(op),
 			Object: object, Group: group,
 			Reason:     gs.String(),
+			RequestID:  tr.id,
+			Spans:      tr.spans,
 			ProofTrace: eng.Proof().String(),
 		})
 	}
-	return Decision{Allowed: true, Group: group, Reason: gs.String(), Proof: eng.Proof(), Data: data}, nil
+	return Decision{Allowed: true, Group: group, Reason: gs.String(), RequestID: tr.id, Proof: eng.Proof(), Data: data}, nil
 }
 
 // idealContent renders the request content as the logic message of the
@@ -496,7 +527,8 @@ func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
 // the trusted domain CAs and withdraws the key binding: requests signed
 // with the revoked key are denied from the effective time on (identity
 // revocation per Stubblebine–Wright, which the paper defers to).
-func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) error {
+func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) (err error) {
+	defer func(start time.Time) { s.observeRevocation("identity", start, err) }(time.Now())
 	caKey, ok := s.anchors.CAKeys[rev.Cert.Issuer]
 	if !ok {
 		return fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
@@ -531,7 +563,8 @@ func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation
 // ProcessCRL verifies a signed revocation list and feeds every entry into
 // the belief store — the "most recent available revocation information"
 // refresh of Section 4.3. It returns how many entries were newly recorded.
-func (s *Server) ProcessCRL(crl pki.SignedCRL) (int, error) {
+func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
+	defer func(start time.Time) { s.observeRevocation("crl", start, err) }(time.Now())
 	var issuerKey sharedrsa.PublicKey
 	switch crl.CRL.Issuer {
 	case s.anchors.RAName:
@@ -544,7 +577,6 @@ func (s *Server) ProcessCRL(crl pki.SignedCRL) (int, error) {
 	if err := pki.VerifyCRL(crl, issuerKey); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrDenied, err)
 	}
-	applied := 0
 	for _, rev := range crl.CRL.Entries {
 		s.mu.Lock()
 		already := s.eng.Store().Revoked(
@@ -564,7 +596,8 @@ func (s *Server) ProcessCRL(crl pki.SignedCRL) (int, error) {
 // ProcessRevocation verifies a revocation certificate (from the RA or the
 // AA itself) and records the negative belief; subsequent derivations for
 // the revoked membership fail (believe-until-revoked).
-func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) error {
+func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) (err error) {
+	defer func(start time.Time) { s.observeRevocation("membership", start, err) }(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var issuerKey sharedrsa.PublicKey

@@ -8,44 +8,81 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"jointadmin"
+	"jointadmin/internal/jointsig"
+	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
 
 // Command is the client → daemon request.
 type Command struct {
-	Cmd     string   `json:"cmd"` // write, read, revoke, audit, join, leave
-	Group   string   `json:"group,omitempty"`
-	Object  string   `json:"object,omitempty"`
-	Data    string   `json:"data,omitempty"`
+	// Cmd selects the operation: write, read, revoke, audit, stats, join,
+	// leave.
+	Cmd string `json:"cmd"`
+	// Group overrides the default group of the command (G_write for
+	// write/revoke, G_read for read).
+	Group string `json:"group,omitempty"`
+	// Object names the target object (default: the daemon's demo object).
+	Object string `json:"object,omitempty"`
+	// Data is the write payload.
+	Data string `json:"data,omitempty"`
+	// Signers are the co-signing users of a joint request.
 	Signers []string `json:"signers,omitempty"`
-	Domain  string   `json:"domain,omitempty"`
+	// Domain is the subject of join/leave.
+	Domain string `json:"domain,omitempty"`
 }
 
 // Reply is the daemon → client response.
 type Reply struct {
-	OK     bool   `json:"ok"`
+	// OK reports whether the command succeeded.
+	OK bool `json:"ok"`
+	// Detail is a human-readable outcome (approval route, error text).
 	Detail string `json:"detail,omitempty"`
-	Data   string `json:"data,omitempty"`
+	// Data carries command output: read results, the rendered audit log,
+	// or the JSON metrics snapshot of the stats command.
+	Data string `json:"data,omitempty"`
 }
 
 // Config sets up the demo alliance.
 type Config struct {
-	Domains        []string
-	Users          []string // assigned to domains round-robin
+	// Domains are the founding member domains (at least 2).
+	Domains []string
+	// Users are the demo users, assigned to domains round-robin.
+	Users []string
+	// WriteThreshold is the number of co-signers required for writes
+	// (default 2).
 	WriteThreshold int
-	Object         string // default "O"
+	// Object names the initially installed object (default "O").
+	Object string
+	// Metrics receives the daemon's (and its authz server's) metrics.
+	// Optional; leave nil to run without metrics. The registry is
+	// injected, never global, so embedders and tests own their own.
+	Metrics *obs.Registry
 }
+
+// Daemon metric names.
+const (
+	// MetricCommands counts handled commands, labeled cmd=<name>.
+	MetricCommands = "daemon_commands_total"
+	// MetricCommandSeconds times command handling, labeled cmd=<name>.
+	MetricCommandSeconds = "daemon_command_seconds"
+	// MetricCommandErrors counts failed commands, labeled cmd=<name> and
+	// kind=<error class> (see errClass).
+	MetricCommandErrors = "daemon_command_errors_total"
+)
 
 // Daemon is the running coalition policy service.
 type Daemon struct {
 	alliance *jointadmin.Alliance
 	server   *jointadmin.Server
 	object   string
+	reg      *obs.Registry
 }
 
 // New forms the alliance, enrolls the users, issues the write/read
@@ -85,14 +122,65 @@ func New(cfg Config) (*Daemon, error) {
 	}, []byte("initial content")); err != nil {
 		return nil, err
 	}
-	return &Daemon{alliance: a, server: srv, object: cfg.Object}, nil
+	srv.Authz().Instrument(cfg.Metrics)
+	return &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics}, nil
 }
 
 // Alliance exposes the underlying alliance (tests, dynamics).
 func (d *Daemon) Alliance() *jointadmin.Alliance { return d.alliance }
 
-// Handle executes one command.
+// Metrics returns the daemon's injected registry (nil when none was
+// configured).
+func (d *Daemon) Metrics() *obs.Registry { return d.reg }
+
+// errClass maps an error to its taxonomy label, keyed on the system's
+// sentinel errors; the daemon_command_errors_total counter is labeled
+// with it.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, jointadmin.ErrNoGroup):
+		return "no_group"
+	case errors.Is(err, jointadmin.ErrDenied):
+		return "denied"
+	case errors.Is(err, jointsig.ErrTimeout):
+		return "cosigner_timeout"
+	case errors.Is(err, jointsig.ErrRefused):
+		return "cosigner_refused"
+	case errors.Is(err, transport.ErrRecvTimeout):
+		return "recv_timeout"
+	case errors.Is(err, transport.ErrNodeDown):
+		return "node_down"
+	case errors.Is(err, transport.ErrDropped):
+		return "dropped"
+	case errors.Is(err, transport.ErrUnknownPeer):
+		return "unknown_peer"
+	case errors.Is(err, transport.ErrClosed):
+		return "closed"
+	default:
+		return "internal"
+	}
+}
+
+// Handle executes one command, counting it (and its error class, when it
+// fails) in the injected registry.
 func (d *Daemon) Handle(cmd Command) Reply {
+	start := time.Now()
+	reply, errKind := d.handle(cmd)
+	d.reg.Counter(MetricCommands, "cmd", cmd.Cmd).Inc()
+	d.reg.Histogram(MetricCommandSeconds, nil, "cmd", cmd.Cmd).ObserveSince(start)
+	if !reply.OK {
+		if errKind == "" {
+			errKind = "internal"
+		}
+		d.reg.Counter(MetricCommandErrors, "cmd", cmd.Cmd, "kind", errKind).Inc()
+	}
+	return reply
+}
+
+// handle dispatches one command and reports the error class on failure.
+func (d *Daemon) handle(cmd Command) (Reply, string) {
 	a, srv := d.alliance, d.server
 	a.Clock().Tick()
 	switch cmd.Cmd {
@@ -100,39 +188,48 @@ func (d *Daemon) Handle(cmd Command) Reply {
 		dec, err := a.JointRequest(srv, group(cmd.Group, "G_write"), "write",
 			d.objectOf(cmd), []byte(cmd.Data), cmd.Signers...)
 		if err != nil {
-			return Reply{Detail: err.Error()}
+			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		return Reply{OK: true, Detail: "approved via " + dec.Group}
+		return Reply{OK: true, Detail: fmt.Sprintf("approved via %s [%s]", dec.Group, dec.RequestID)}, ""
 	case "read":
 		dec, err := a.JointRequest(srv, group(cmd.Group, "G_read"), "read",
 			d.objectOf(cmd), nil, cmd.Signers...)
 		if err != nil {
-			return Reply{Detail: err.Error()}
+			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		return Reply{OK: true, Detail: "approved via " + dec.Group, Data: string(dec.Data)}
+		return Reply{OK: true, Detail: fmt.Sprintf("approved via %s [%s]", dec.Group, dec.RequestID), Data: string(dec.Data)}, ""
 	case "revoke":
 		if err := a.Revoke(group(cmd.Group, "G_write"), srv); err != nil {
-			return Reply{Detail: err.Error()}
+			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}
+		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
 	case "audit":
-		return Reply{OK: true, Data: srv.Audit().Render()}
+		return Reply{OK: true, Data: srv.Audit().Render()}, ""
+	case "stats":
+		if d.reg == nil {
+			return Reply{Detail: "metrics not enabled (start coalitiond with -metrics-addr)"}, "no_metrics"
+		}
+		body, err := json.Marshal(d.reg.Snapshot())
+		if err != nil {
+			return Reply{Detail: "encode snapshot: " + err.Error()}, "internal"
+		}
+		return Reply{OK: true, Data: string(body)}, ""
 	case "join":
 		report, err := a.Join(cmd.Domain)
 		if err != nil {
-			return Reply{Detail: err.Error()}
+			return Reply{Detail: err.Error()}, errClass(err)
 		}
 		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (re-anchor servers)",
-			report.Epoch, report.CertsRevoked, report.CertsReissued)}
+			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	case "leave":
 		report, err := a.Leave(cmd.Domain)
 		if err != nil {
-			return Reply{Detail: err.Error()}
+			return Reply{Detail: err.Error()}, errClass(err)
 		}
 		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d",
-			report.Epoch, report.CertsRevoked, report.CertsReissued)}
+			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	default:
-		return Reply{Detail: "unknown command " + cmd.Cmd}
+		return Reply{Detail: "unknown command " + cmd.Cmd}, "unknown_command"
 	}
 }
 

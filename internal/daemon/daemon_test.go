@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
 
@@ -131,5 +132,64 @@ func TestDaemonOverTCP(t *testing.T) {
 	case <-serveDone:
 	case <-time.After(2 * time.Second):
 		t.Fatal("Serve did not exit on Close")
+	}
+}
+
+// TestDaemonStatsAndTaxonomy drives a metered daemon through an approved
+// write and a denied write, then checks the stats command's snapshot:
+// per-command counters, the error taxonomy, and the authz per-step
+// latency histograms all report.
+func TestDaemonStatsAndTaxonomy(t *testing.T) {
+	reg := obs.NewRegistry()
+	d, err := New(Config{
+		Domains:        []string{"D1", "D2", "D3"},
+		Users:          []string{"alice", "bob", "carol"},
+		WriteThreshold: 2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
+		t.Fatalf("write: %+v", r)
+	}
+	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"}); r.OK {
+		t.Fatal("single-signer write approved")
+	}
+	if r := d.Handle(Command{Cmd: "bogus"}); r.OK {
+		t.Fatal("bogus command accepted")
+	}
+
+	r := d.Handle(Command{Cmd: "stats"})
+	if !r.OK {
+		t.Fatalf("stats: %+v", r)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(r.Data), &snap); err != nil {
+		t.Fatalf("stats payload not a snapshot: %v", err)
+	}
+	if got := snap.CounterValue(`daemon_commands_total{cmd="write"}`); got != 2 {
+		t.Errorf("write commands = %d, want 2", got)
+	}
+	if got := snap.CounterValue(`daemon_command_errors_total{cmd="write",kind="denied"}`); got != 1 {
+		t.Errorf("denied writes = %d, want 1; counters: %+v", got, snap.Counters)
+	}
+	if got := snap.CounterValue(`daemon_command_errors_total{cmd="bogus",kind="unknown_command"}`); got != 1 {
+		t.Errorf("unknown commands = %d, want 1", got)
+	}
+	if got := snap.CounterValue("authz_requests_total"); got != 2 {
+		t.Errorf("authz requests = %d, want 2", got)
+	}
+	if h, ok := snap.HistogramValueOf(`authz_step_seconds{step="step1_certs"}`); !ok || h.Count != 2 {
+		t.Errorf("step1 histogram = %+v (found %v), want count 2", h, ok)
+	}
+}
+
+// TestDaemonStatsWithoutMetrics: stats on an unmetered daemon fails
+// cleanly.
+func TestDaemonStatsWithoutMetrics(t *testing.T) {
+	d := newDaemon(t)
+	if r := d.Handle(Command{Cmd: "stats"}); r.OK {
+		t.Fatal("stats succeeded without a registry")
 	}
 }

@@ -22,8 +22,28 @@ import (
 	"sync"
 	"time"
 
+	"jointadmin/internal/obs"
 	"jointadmin/internal/sharedrsa"
 	"jointadmin/internal/transport"
+)
+
+// Joint-signature metric names. All timings are seconds.
+const (
+	// MetricRounds counts signing rounds driven by a Requestor, labeled
+	// outcome="ok"/"timeout"/"refused"/"error".
+	MetricRounds = "jointsig_rounds_total"
+	// MetricRoundSeconds times whole signing rounds (broadcast → verified
+	// signature).
+	MetricRoundSeconds = "jointsig_round_seconds"
+	// MetricCombineSeconds times the partial-signature combine (the ∏ Sᵢ
+	// product plus trial correction), the multi-party hot path.
+	MetricCombineSeconds = "jointsig_combine_seconds"
+	// MetricPartialSeconds times one co-signer's share application
+	// (Sᵢ = M^dᵢ mod N).
+	MetricPartialSeconds = "jointsig_partial_seconds"
+	// MetricPartials counts co-signer responses, labeled
+	// outcome="ok"/"refused".
+	MetricPartials = "jointsig_partials_total"
 )
 
 // Message kinds on the wire.
@@ -67,9 +87,16 @@ type Cosigner struct {
 	share    sharedrsa.Share
 	approve  func(msg []byte) error
 
+	// reg receives partial-signing metrics (Instrument); nil drops them.
+	reg *obs.Registry
+
 	stop chan struct{}
 	done chan struct{}
 }
+
+// Instrument injects a metrics registry for partial-signature timing and
+// outcome counts. Call it right after NewCosigner.
+func (c *Cosigner) Instrument(reg *obs.Registry) { c.reg = reg }
 
 // NewCosigner starts a co-signer service on the endpoint. approve may be
 // nil (approve everything). Call Close to stop it.
@@ -129,13 +156,20 @@ func (c *Cosigner) handle(env transport.Envelope) {
 		}
 	}
 	if resp.Refused == "" {
+		start := time.Now()
 		partial, err := sharedrsa.PartialSign(req.Message, c.pk, c.share)
+		c.reg.Histogram(MetricPartialSeconds, nil).ObserveSince(start)
 		if err != nil {
 			resp.Refused = err.Error()
 		} else {
 			resp.Partial = partial.V.Text(16)
 		}
 	}
+	outcome := "ok"
+	if resp.Refused != "" {
+		outcome = "refused"
+	}
+	c.reg.Counter(MetricPartials, "outcome", outcome).Inc()
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return
@@ -157,9 +191,16 @@ type Requestor struct {
 	share    sharedrsa.Share
 	peers    []string
 
+	// reg receives round/combine metrics (Instrument); nil drops them.
+	reg *obs.Registry
+
 	mu    sync.Mutex
 	nonce uint64
 }
+
+// Instrument injects a metrics registry for round and combine timing.
+// Call it right after NewRequestor.
+func (r *Requestor) Instrument(reg *obs.Registry) { r.reg = reg }
 
 // NewRequestor wraps the requestor domain's endpoint, share, and the names
 // of the co-signer endpoints.
@@ -182,7 +223,20 @@ type Options struct {
 
 // Sign runs the Section 3.2 flow: broadcast (M, keyID), collect partials,
 // combine with trial correction, verify.
-func (r *Requestor) Sign(msg []byte, opts Options) (sharedrsa.Signature, error) {
+func (r *Requestor) Sign(msg []byte, opts Options) (sig sharedrsa.Signature, err error) {
+	defer func(start time.Time) {
+		outcome := "ok"
+		switch {
+		case errors.Is(err, ErrTimeout):
+			outcome = "timeout"
+		case errors.Is(err, ErrRefused):
+			outcome = "refused"
+		case err != nil:
+			outcome = "error"
+		}
+		r.reg.Counter(MetricRounds, "outcome", outcome).Inc()
+		r.reg.Histogram(MetricRoundSeconds, nil).ObserveSince(start)
+	}(time.Now())
 	if opts.Need == 0 {
 		opts.Need = len(r.peers) + 1
 	}
@@ -260,7 +314,9 @@ func (r *Requestor) Sign(msg []byte, opts Options) (sharedrsa.Signature, error) 
 		return sharedrsa.Signature{}, fmt.Errorf("%w: %d of %d partials",
 			ErrTimeout, len(partials), opts.Need)
 	}
-	sig, err := sharedrsa.Combine(msg, r.pk, partials, opts.TotalParties)
+	combineStart := time.Now()
+	sig, err = sharedrsa.Combine(msg, r.pk, partials, opts.TotalParties)
+	r.reg.Histogram(MetricCombineSeconds, nil).ObserveSince(combineStart)
 	if err != nil {
 		return sharedrsa.Signature{}, fmt.Errorf("jointsig: combine: %w", err)
 	}

@@ -1,0 +1,144 @@
+// HTTP export: the Prometheus text endpoint, the expvar-style JSON dump,
+// and the net/http/pprof handlers, all mounted on one injected-registry
+// mux so the daemon exposes a single observability listener.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Handler returns the observability mux for a registry:
+//
+//	/metrics        Prometheus text exposition format
+//	/debug/vars     expvar-style JSON (metrics snapshot + memstats)
+//	/debug/pprof/   the standard pprof index, profile, symbol, trace
+//
+// Mount it on a dedicated listener (coalitiond's -metrics-addr) so profiling
+// and scraping never share a port with the coalition protocol.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"metrics": r.Snapshot(),
+			"memstats": map[string]any{
+				"Alloc":      ms.Alloc,
+				"TotalAlloc": ms.TotalAlloc,
+				"Sys":        ms.Sys,
+				"HeapAlloc":  ms.HeapAlloc,
+				"HeapInuse":  ms.HeapInuse,
+				"NumGC":      ms.NumGC,
+				"PauseTotal": ms.PauseTotalNs,
+			},
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (counters, gauges, and histograms with cumulative le-buckets).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	scalar := func(kind string, m map[metricKey]int64) {
+		byName := make(map[string][]metricKey)
+		for k := range m {
+			byName[k.name] = append(byName[k.name], k)
+		}
+		for _, name := range sortedNames(byName) {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+			keys := byName[name]
+			sort.Slice(keys, func(i, j int) bool { return keys[i].labels < keys[j].labels })
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s %d\n", k.String(), m[k])
+			}
+		}
+	}
+
+	counters := make(map[metricKey]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	scalar("counter", counters)
+
+	gauges := make(map[metricKey]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	scalar("gauge", gauges)
+
+	byName := make(map[string][]metricKey)
+	for k := range r.hists {
+		byName[k.name] = append(byName[k.name], k)
+	}
+	for _, name := range sortedNames(byName) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		keys := byName[name]
+		sort.Slice(keys, func(i, j int) bool { return keys[i].labels < keys[j].labels })
+		for _, k := range keys {
+			hv := r.hists[k].Snapshot()
+			var cum uint64
+			for i, bound := range hv.Bounds {
+				cum += hv.Counts[i]
+				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix(k), formatBound(bound), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(k), hv.Count)
+			fmt.Fprintf(w, "%s %g\n", series(name+"_sum", k.labels), hv.Sum)
+			fmt.Fprintf(w, "%s %d\n", series(name+"_count", k.labels), hv.Count)
+		}
+	}
+}
+
+// series renders a sample name with an optional label set.
+func series(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func labelPrefix(k metricKey) string {
+	if k.labels == "" {
+		return ""
+	}
+	return k.labels + ","
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+func sortedNames(m map[string][]metricKey) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

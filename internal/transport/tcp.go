@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"jointadmin/internal/obs"
 )
 
 // TCPNode is a TCP-backed endpoint: it listens on its own address and
@@ -16,6 +18,10 @@ import (
 type TCPNode struct {
 	name     string
 	listener net.Listener
+
+	// reg receives the node's transport metrics (Instrument); nil drops
+	// them.
+	reg *obs.Registry
 
 	mu       sync.Mutex
 	peers    map[string]string // peer name -> address
@@ -27,6 +33,31 @@ type TCPNode struct {
 	closed    chan struct{}
 	wg        sync.WaitGroup
 }
+
+// Transport metric names. Frame/byte counters are labeled dir="in"/"out";
+// per-peer connection gauges are labeled by peer name.
+const (
+	// MetricFrames counts envelopes moved, labeled dir="in"/"out".
+	MetricFrames = "transport_frames_total"
+	// MetricBytes counts frame payload bytes moved (including the 4-byte
+	// length prefix), labeled dir="in"/"out".
+	MetricBytes = "transport_bytes_total"
+	// MetricDialErrors counts failed dials, labeled by peer.
+	MetricDialErrors = "transport_dial_errors_total"
+	// MetricSendErrors counts failed frame writes, labeled by peer.
+	MetricSendErrors = "transport_send_errors_total"
+	// MetricAcceptErrors counts listener accept failures.
+	MetricAcceptErrors = "transport_accept_errors_total"
+	// MetricPeerConns gauges open dialed connections, labeled by peer.
+	MetricPeerConns = "transport_peer_conns"
+	// MetricAcceptedConns gauges open accepted (inbound) connections.
+	MetricAcceptedConns = "transport_accepted_conns"
+)
+
+// Instrument injects a metrics registry for frame, byte, error and
+// connection accounting. Call it right after ListenTCP, before the node
+// carries traffic; nil (the default) disables the accounting.
+func (n *TCPNode) Instrument(reg *obs.Registry) { n.reg = reg }
 
 var _ Endpoint = (*TCPNode)(nil)
 
@@ -57,11 +88,24 @@ func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
 // Name returns the node's name.
 func (n *TCPNode) Name() string { return n.name }
 
-// AddPeer registers a peer's address for dialing.
+// AddPeer registers a peer's address for dialing. Re-registering a peer
+// at a new address drops any cached connection to the old one, so a peer
+// that restarts on a fresh ephemeral port (policyctl does this on every
+// invocation) is re-dialed instead of written to over a dead socket.
 func (n *TCPNode) AddPeer(name, addr string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	old, had := n.peers[name]
 	n.peers[name] = addr
+	var stale net.Conn
+	if had && old != addr {
+		stale = n.conns[name]
+		delete(n.conns, name)
+	}
+	n.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+		n.reg.Gauge(MetricPeerConns, "peer", name).Dec()
+	}
 }
 
 func (n *TCPNode) acceptLoop() {
@@ -69,11 +113,17 @@ func (n *TCPNode) acceptLoop() {
 	for {
 		conn, err := n.listener.Accept()
 		if err != nil {
+			select {
+			case <-n.closed:
+			default:
+				n.reg.Counter(MetricAcceptErrors).Inc()
+			}
 			return // listener closed
 		}
 		n.mu.Lock()
 		n.accepted[conn] = true
 		n.mu.Unlock()
+		n.reg.Gauge(MetricAcceptedConns).Inc()
 		n.wg.Add(1)
 		go n.readLoop(conn)
 	}
@@ -86,12 +136,15 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.mu.Lock()
 		delete(n.accepted, conn)
 		n.mu.Unlock()
+		n.reg.Gauge(MetricAcceptedConns).Dec()
 	}()
 	for {
-		env, err := readFrame(conn)
+		env, size, err := readFrame(conn)
 		if err != nil {
 			return
 		}
+		n.reg.Counter(MetricFrames, "dir", "in").Inc()
+		n.reg.Counter(MetricBytes, "dir", "in").Add(int64(size))
 		select {
 		case n.inbox <- env:
 		case <-n.closed:
@@ -114,20 +167,27 @@ func (n *TCPNode) Send(to, kind string, payload []byte) error {
 		conn, err = net.DialTimeout("tcp", addr, 5*time.Second)
 		if err != nil {
 			n.mu.Unlock()
+			n.reg.Counter(MetricDialErrors, "peer", to).Inc()
 			return fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
 		}
 		n.conns[to] = conn
+		n.reg.Gauge(MetricPeerConns, "peer", to).Inc()
 	}
 	n.mu.Unlock()
 
 	env := Envelope{From: n.name, To: to, Kind: kind, Payload: payload}
-	if err := writeFrame(conn, env); err != nil {
+	size, err := writeFrame(conn, env)
+	if err != nil {
 		n.mu.Lock()
 		delete(n.conns, to)
 		n.mu.Unlock()
 		conn.Close()
+		n.reg.Gauge(MetricPeerConns, "peer", to).Dec()
+		n.reg.Counter(MetricSendErrors, "peer", to).Inc()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	n.reg.Counter(MetricFrames, "dir", "out").Inc()
+	n.reg.Counter(MetricBytes, "dir", "out").Add(int64(size))
 	return nil
 }
 
@@ -178,39 +238,45 @@ func (n *TCPNode) Close() error {
 // frame wire format: 4-byte big-endian length, then gob(Envelope).
 const maxFrame = 16 << 20
 
-func writeFrame(w io.Writer, env Envelope) error {
+// writeFrame writes one length-prefixed frame and reports its size on the
+// wire (header + body).
+func writeFrame(w io.Writer, env Envelope) (int, error) {
 	var buf frameBuffer
 	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(env); err != nil {
-		return err
+		return 0, err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := w.Write(buf.b)
-	return err
+	if _, err := w.Write(buf.b); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(buf.b), nil
 }
 
-func readFrame(r io.Reader) (Envelope, error) {
+// readFrame reads one length-prefixed frame and reports its size on the
+// wire (header + body).
+func readFrame(r io.Reader) (Envelope, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Envelope{}, err
+		return Envelope{}, 0, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > maxFrame {
-		return Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return Envelope{}, 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Envelope{}, err
+		return Envelope{}, 0, err
 	}
 	var env Envelope
 	if err := gob.NewDecoder(newByteReader(body)).Decode(&env); err != nil {
-		return Envelope{}, err
+		return Envelope{}, 0, err
 	}
-	return env, nil
+	return env, len(hdr) + int(size), nil
 }
 
 type frameBuffer struct{ b []byte }

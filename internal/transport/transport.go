@@ -11,13 +11,20 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"jointadmin/internal/obs"
 )
 
 // Envelope is one routed protocol message.
 type Envelope struct {
-	From    string
-	To      string
-	Kind    string
+	// From is the sender's registered endpoint name.
+	From string
+	// To is the destination endpoint name.
+	To string
+	// Kind tags the message type (e.g. jointsig.request); multiplexed
+	// protocols dispatch on it.
+	Kind string
+	// Payload is the opaque message body (JSON in this repository).
 	Payload []byte
 }
 
@@ -60,6 +67,9 @@ type Faults struct {
 
 // Memory is the in-memory network.
 type Memory struct {
+	// reg receives delivery metrics (Instrument); nil drops them.
+	reg *obs.Registry
+
 	mu      sync.Mutex
 	inboxes map[string]chan Envelope
 	down    map[string]bool
@@ -68,6 +78,16 @@ type Memory struct {
 	dropped int
 	closed  bool
 }
+
+// MetricDropped counts messages lost to fault injection or full inboxes
+// (in-memory network only).
+const MetricDropped = "transport_dropped_total"
+
+// Instrument injects a metrics registry: deliveries count under
+// transport_frames_total/transport_bytes_total (dir="out") and losses
+// under transport_dropped_total. Call it before traffic flows; nil (the
+// default) disables the accounting.
+func (m *Memory) Instrument(reg *obs.Registry) { m.reg = reg }
 
 // NewMemory returns an in-memory network with the given fault plan.
 func NewMemory(faults Faults) *Memory {
@@ -153,6 +173,7 @@ func (m *Memory) send(env Envelope) error {
 	if m.faults.DropEveryN > 0 && m.sent%m.faults.DropEveryN == 0 {
 		m.dropped++
 		m.mu.Unlock()
+		m.reg.Counter(MetricDropped).Inc()
 		return fmt.Errorf("%s → %s: %w", env.From, env.To, ErrDropped)
 	}
 	latency := m.faults.Latency
@@ -161,8 +182,11 @@ func (m *Memory) send(env Envelope) error {
 	deliver := func() error {
 		select {
 		case ch <- env:
+			m.reg.Counter(MetricFrames, "dir", "out").Inc()
+			m.reg.Counter(MetricBytes, "dir", "out").Add(int64(len(env.Payload)))
 			return nil
 		default:
+			m.reg.Counter(MetricDropped).Inc()
 			return fmt.Errorf("%s inbox full: %w", env.To, ErrDropped)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"jointadmin/internal/obs"
 )
 
 func TestMemorySendRecv(t *testing.T) {
@@ -266,5 +268,51 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+// TestTCPPeerReaddress: a peer that restarts on a new ephemeral port (as
+// every policyctl invocation does) must be re-dialed after AddPeer, not
+// written to over the cached dead connection.
+func TestTCPPeerReaddress(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := ListenTCP("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Instrument(reg)
+
+	c1, err := ListenTCP("client", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddPeer("client", c1.Addr())
+	if err := srv.Send("client", "reply", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.RecvTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // the first client goes away...
+
+	c2, err := ListenTCP("client", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	srv.AddPeer("client", c2.Addr()) // ...and comes back on a new port
+	if err := srv.Send("client", "reply", []byte("two")); err != nil {
+		t.Fatalf("send after re-address: %v", err)
+	}
+	env, err := c2.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("recv after re-address: %v", err)
+	}
+	if string(env.Payload) != "two" {
+		t.Errorf("payload = %q", env.Payload)
+	}
+	if got := reg.Snapshot().CounterValue(`transport_send_errors_total{peer="client"}`); got != 0 {
+		t.Errorf("send errors = %d, want 0 (stale conn must be dropped by AddPeer)", got)
 	}
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, tests. Run from the repo root (or via
+# `make check`). Fails fast with a named step so CI logs are readable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/obs"
+go test -race ./internal/obs
+
+echo "OK"
