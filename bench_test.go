@@ -10,6 +10,7 @@ package jointadmin
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -208,6 +209,128 @@ func BenchmarkAuthorizeRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- E8: authorization hot path — serial vs parallel, cold vs warm ----
+//
+// These benchmarks isolate the server-side Authorize path from client
+// signing: one joint write request is pre-signed and replayed (freshness
+// checking is off by default, so replay is valid). scripts/bench_authz.sh
+// runs them and records the speedup in BENCH_authz.json.
+
+// benchServer creates a dedicated server (own object store, own snapshot,
+// own certificate cache) so each sub-benchmark controls its cache state.
+func benchServer(b *testing.B, d *benchDeployment, name string) *Server {
+	b.Helper()
+	srv, err := d.a.NewServer(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.CreateObject("O", map[string][]string{
+		"G_write": {"write"}, "G_read": {"read"},
+	}, []byte("content")); err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchWriteRequest pre-signs the reusable 2-of-3 joint write request.
+func benchWriteRequest(b *testing.B, d *benchDeployment) AccessRequest {
+	b.Helper()
+	req, err := d.a.NewRequest(RequestSpec{
+		Group: "G_write", Op: "write", Object: "O",
+		Payload: []byte("v"), Signers: []string{"u1", "u2"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return req
+}
+
+// BenchmarkAuthorizeSerial is the baseline: signature verification forced
+// serial (parallelism 1), one request at a time.
+func BenchmarkAuthorizeSerial(b *testing.B) {
+	d := deployment(b)
+	req := benchWriteRequest(b, d)
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		srv := benchServer(b, d, "Pb-serial-cold")
+		srv.Authz().SetVerifyParallelism(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d.a.Reanchor(srv) // discard the certificate cache
+			b.StartTimer()
+			if _, err := srv.Request(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv := benchServer(b, d, "Pb-serial-warm")
+		srv.Authz().SetVerifyParallelism(1)
+		if _, err := srv.Request(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Request(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAuthorizeParallel exercises the concurrency redesign: the
+// intra-request signature fan-out alone (fanout-warm), and many requests
+// decided concurrently against the lock-free snapshot (concurrent-warm,
+// via b.RunParallel).
+func BenchmarkAuthorizeParallel(b *testing.B) {
+	d := deployment(b)
+	req := benchWriteRequest(b, d)
+	ctx := context.Background()
+	b.Run("fanout-warm", func(b *testing.B) {
+		srv := benchServer(b, d, "Pb-fanout-warm")
+		if _, err := srv.Request(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Request(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent-cold", func(b *testing.B) {
+		// Per-goroutine servers re-anchored before every request, so each
+		// decision re-verifies its certificates (the re-anchor itself is
+		// cheap next to the RSA verifications it forces).
+		b.RunParallel(func(pb *testing.PB) {
+			srv := benchServer(b, d, "Pb-concurrent-cold")
+			srv.Authz().SetVerifyParallelism(1)
+			for pb.Next() {
+				d.a.Reanchor(srv)
+				if _, err := srv.Request(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("concurrent-warm", func(b *testing.B) {
+		srv := benchServer(b, d, "Pb-concurrent-warm")
+		srv.Authz().SetVerifyParallelism(1)
+		if _, err := srv.Request(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := srv.Request(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // ---- E6: revocation checking cost ----

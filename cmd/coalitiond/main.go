@@ -16,10 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"jointadmin/internal/daemon"
 	"jointadmin/internal/obs"
@@ -75,5 +79,12 @@ func run(listen, metricsAddr string, domains, users []string, writeM int) error 
 	}
 	log.Printf("coalitiond serving on %s (domains=%v users=%v write-threshold=%d)",
 		node.Addr(), domains, users, writeM)
-	return d.Serve(node)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err = d.Serve(ctx, node)
+	if errors.Is(err, context.Canceled) {
+		log.Printf("coalitiond: shutting down")
+		return nil
+	}
+	return err
 }

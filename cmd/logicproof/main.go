@@ -118,11 +118,21 @@ func run(flow string) error {
 		fmt.Println("After message 2, P believes ¬(CP'(2,3) ⇒ G_write): the belief can no")
 		fmt.Println("longer be obtained for t ≥ t8, so the same joint request is DENIED:")
 		fmt.Printf("  %v\n", err)
+		printSnapshot(srv)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown flow %q (want write, read, or revoke)\n", flow)
 		os.Exit(2)
 	}
 	return nil
+}
+
+// printSnapshot summarizes the server's current belief snapshot: its
+// version (key epoch / mutation watermark) and belief count. The snapshot
+// is immutable, so the summary is consistent even while requests run.
+func printSnapshot(srv *jointadmin.Server) {
+	sn := srv.Authz().Snapshot()
+	fmt.Printf("\nbelief snapshot: epoch %d, watermark %d, %d beliefs held\n",
+		sn.Epoch, sn.Watermark, len(sn.Beliefs()))
 }
 
 // printTrace shows the per-step derivation trace the server recorded for

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -92,7 +93,9 @@ func run(server string, cmd Command, timeout time.Duration) error {
 	if err := node.Send("coalitiond", "cmd@"+node.Addr(), body); err != nil {
 		return err
 	}
-	env, err := node.RecvTimeout(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	env, err := node.RecvContext(ctx)
 	if err != nil {
 		return fmt.Errorf("no reply from %s: %w", server, err)
 	}

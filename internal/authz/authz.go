@@ -12,9 +12,18 @@
 //
 // A request is approved only if both layers succeed; the derivation trace
 // is recorded in the audit log.
+//
+// Concurrency model: the server's belief state is an immutable snapshot
+// (snapshot.go) swapped atomically by the belief-mutating operations.
+// Authorize is lock-free — it forks the snapshot's engine into per-request
+// scratch, verifies co-signer signatures on a bounded parallel fan-out
+// (first failure cancels the rest), and memoizes certificate verifications
+// in the snapshot's fingerprint-keyed cache. Steps 1–3 are independent per
+// request given a fixed belief set, which is exactly what makes this safe.
 package authz
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -121,6 +130,10 @@ type Decision struct {
 	Allowed bool
 	Group   string
 	Reason  string
+	// DeniedStep names the protocol step that denied the request (one of
+	// the Step* constants; empty when Allowed), so callers can classify
+	// denials without parsing audit text.
+	DeniedStep string
 	// RequestID correlates the decision with its audit entry and metrics.
 	RequestID string
 	// Proof is the derivation that justified the decision (nil on
@@ -134,7 +147,6 @@ type Decision struct {
 type Server struct {
 	name    string
 	clk     *clock.Clock
-	anchors TrustAnchors
 	objects *acl.Store
 	log     *audit.Log
 
@@ -142,30 +154,37 @@ type Server struct {
 	reg *obs.Registry
 	// reqSeq numbers evaluated requests for audit/metrics correlation.
 	reqSeq atomic.Uint64
+	// parallelism bounds the per-request signature-verification fan-out.
+	parallelism int
 
-	mu  sync.Mutex
-	eng *logic.Engine
+	// mu serializes belief-mutating operations; Authorize never takes it.
+	mu sync.Mutex
+	// state is the current immutable belief snapshot (snapshot.go).
+	state atomic.Pointer[state]
 }
 
 // NewServer configures a server with its trust anchors and object store.
 // The audit log may be nil.
 func NewServer(name string, clk *clock.Clock, anchors TrustAnchors, objects *acl.Store, log *audit.Log) *Server {
 	s := &Server{
-		name:    name,
-		clk:     clk,
-		anchors: anchors,
-		objects: objects,
-		log:     log,
+		name:        name,
+		clk:         clk,
+		objects:     objects,
+		log:         log,
+		parallelism: defaultParallelism(),
 	}
-	s.eng = s.freshEngine()
+	s.state.Store(&state{
+		anchors: anchors,
+		eng:     freshEngine(name, clk, anchors),
+		cache:   newCertCache(),
+	})
 	return s
 }
 
 // freshEngine installs the initial beliefs (Appendix E statements 1–11).
-func (s *Server) freshEngine() *logic.Engine {
-	eng := logic.NewEngine(s.name, s.clk)
+func freshEngine(name string, clk *clock.Clock, a TrustAnchors) *logic.Engine {
+	eng := logic.NewEngine(name, clk)
 	horizon := clock.Infinity
-	a := s.anchors
 
 	// Statement 1: KAA ⇒ [t*, t],P CP(n,n) over the member domains.
 	domains := make([]logic.Principal, len(a.Domains))
@@ -174,47 +193,46 @@ func (s *Server) freshEngine() *logic.Engine {
 	}
 	cp := logic.CP(domains...).WithThreshold(len(domains))
 	aaKeyID := logic.KeyID(a.AAKey.KeyID())
-	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(s.name), Who: cp},
+	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(name), Who: cp},
 		"statement 1: KAA ⇒ CP(n,n)")
 	// Reading convention of Section 4.3: "we say that AA signs messages
 	// with key KAA as well".
-	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(a.AAName)},
+	eng.Assume(logic.KeySpeaksFor{K: aaKeyID, T: logic.During(a.TrustSince, horizon).On(name), Who: logic.P(a.AAName)},
 		"AA speaks with the shared key (reading convention)")
 	// Statements 2–3: AA's jurisdiction over group membership.
 	eng.Assume(logic.MembershipJurisdiction{Authority: logic.P(a.AAName), AuthorityName: a.AAName},
 		"statements 2–3: AA controls membership")
 	// Statements 4–5: AA's jurisdiction over certificate accuracy times.
-	eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.AAName), Since: a.TrustSince, Server: s.name},
+	eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.AAName), Since: a.TrustSince, Server: name},
 		"statements 4–5: AA controls accuracy time")
 
 	// Statements 6–11: each CA's key and jurisdictions.
 	for ca, key := range a.CAKeys {
-		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(key.KeyID()), T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(ca)},
+		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(key.KeyID()), T: logic.During(a.TrustSince, horizon).On(name), Who: logic.P(ca)},
 			"K"+ca+" ⇒ "+ca)
 		eng.Assume(logic.KeyJurisdiction{CA: logic.P(ca)},
 			ca+" controls identity keys (statements 6–11)")
-		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(ca), Since: a.TrustSince, Server: s.name},
+		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(ca), Since: a.TrustSince, Server: name},
 			ca+" controls accuracy time")
 	}
 
 	// RA: authorized to provide revocation information on behalf of AA.
 	if a.RAName != "" {
-		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(a.RAKey.KeyID()), T: logic.During(a.TrustSince, horizon).On(s.name), Who: logic.P(a.RAName)},
+		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(a.RAKey.KeyID()), T: logic.During(a.TrustSince, horizon).On(name), Who: logic.P(a.RAName)},
 			"KRA ⇒ RA")
 		eng.Assume(logic.MembershipJurisdiction{Authority: logic.P(a.RAName), AuthorityName: a.RAName},
 			"RA provides revocation information on behalf of AA")
-		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.RAName), Since: a.TrustSince, Server: s.name},
+		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.RAName), Since: a.TrustSince, Server: name},
 			"RA controls accuracy time")
 	}
 	return eng
 }
 
-// Engine exposes the server's derivation engine (for tests and the proof-
-// trace tool).
+// Engine returns a private fork of the current belief snapshot's engine:
+// derivations on it never affect (or race with) the server. Use Snapshot
+// for versioned access.
 func (s *Server) Engine() *logic.Engine {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng
+	return s.Snapshot().Engine()
 }
 
 // Objects exposes the server's object store.
@@ -249,22 +267,50 @@ func (s *Server) deny(tr *reqTrace, req *AccessRequest, group, reason string, pr
 			RequestID: tr.id, Spans: tr.spans, ProofTrace: trace,
 		})
 	}
-	return Decision{Allowed: false, Group: group, Reason: reason, RequestID: tr.id, Proof: proof},
+	return Decision{Allowed: false, Group: group, Reason: reason, DeniedStep: step, RequestID: tr.id, Proof: proof},
 		fmt.Errorf("%w: %s", ErrDenied, reason)
+}
+
+// abort closes the trace for a request whose context was canceled: the
+// outcome is neither an approval nor a protocol denial, so it is counted
+// separately and not written to the audit log.
+func (s *Server) abort(tr *reqTrace, err error) (Decision, error) {
+	step := tr.step
+	if step == "" {
+		step = StepFreshness
+	}
+	tr.end("canceled", err.Error())
+	tr.finishCanceled(step)
+	return Decision{Allowed: false, Reason: err.Error(), DeniedStep: step, RequestID: tr.id},
+		fmt.Errorf("authz: request aborted at %s: %w", step, err)
+}
+
+// ctxErr reports whether err stems from context cancellation.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Authorize runs the full authorization protocol on a joint access request
 // and, if approved, performs the operation on the object store. The
 // evaluation is traced: each protocol step becomes a timed span in the
 // audit entry, correlated by the decision's RequestID.
-func (s *Server) Authorize(req AccessRequest) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	eng := s.eng
+//
+// Authorize is lock-free and safe for arbitrary concurrency: it evaluates
+// against the belief snapshot current at entry. The context cancels the
+// evaluation between steps and inside the signature-verification fan-out.
+func (s *Server) Authorize(ctx context.Context, req AccessRequest) (Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := s.state.Load()
+	eng := st.eng.Fork()
 	now := s.clk.Now()
 	tr := s.beginTrace()
 
 	tr.begin(StepFreshness)
+	if err := ctx.Err(); err != nil {
+		return s.abort(tr, err)
+	}
 	if len(req.Requests) == 0 {
 		return s.deny(tr, &req, "", "no signed request components", nil)
 	}
@@ -272,7 +318,7 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	object := req.Requests[0].Object
 
 	// Freshness (axiom A21, Stubblebine–Wright style window check).
-	if w := s.anchors.FreshnessWindow; w > 0 {
+	if w := st.anchors.FreshnessWindow; w > 0 {
 		for _, r := range req.Requests {
 			delta := int64(now) - int64(r.At)
 			if delta < 0 {
@@ -287,134 +333,46 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 
 	// ---- Step 1: verify the signing keys (messages 1-1, 1-2). ----
 	tr.begin(StepCerts)
-	userKeys := make(map[string]sharedrsa.PublicKey, len(req.Identities))
-	for _, idc := range req.Identities {
-		caKey, ok := s.anchors.CAKeys[idc.Cert.Issuer]
-		if !ok {
-			return s.deny(tr, &req, "", "identity certificate from untrusted CA "+idc.Cert.Issuer, eng.Proof())
+	userKeys, err := s.verifyIdentities(ctx, st, eng, req.Identities, now)
+	if err != nil {
+		if ctxErr(err) {
+			return s.abort(tr, err)
 		}
-		if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
-			return s.deny(tr, &req, "", "identity certificate invalid: "+err.Error(), eng.Proof())
-		}
-		caBelief, ok := eng.Store().KeyFor(idc.Cert.Issuer, now)
-		if !ok {
-			return s.deny(tr, &req, "", "no key belief for CA "+idc.Cert.Issuer, eng.Proof())
-		}
-		if _, _, err := eng.VerifyCertificate(pki.IdealizeIdentity(idc), caBelief); err != nil {
-			return s.deny(tr, &req, "", "identity derivation failed: "+err.Error(), eng.Proof())
-		}
-		upk, err := idc.Cert.SubjectKey.PublicKey()
-		if err != nil {
-			return s.deny(tr, &req, "", "identity certificate key malformed: "+err.Error(), eng.Proof())
-		}
-		userKeys[idc.Cert.Subject] = upk
+		return s.deny(tr, &req, "", err.Error(), eng.Proof())
 	}
 
 	// ---- Step 2: establish group membership (message 1-3). ----
 	tr.begin(StepThreshold)
-	aaBelief, ok := eng.Store().KeyFor(s.anchors.AAName, now)
-	if !ok {
-		return s.deny(tr, &req, "", "no key belief for AA", eng.Proof())
+	if err := ctx.Err(); err != nil {
+		return s.abort(tr, err)
 	}
-	var (
-		group        string
-		ideal        logic.Signed
-		boundKey     map[string]string
-		certValidity clock.Interval
-	)
-	if req.SingleSubject {
-		// A35 path: a single key-bound subject speaks for the group.
-		if err := pki.VerifyAttribute(req.Single, s.anchors.AAKey, now); err != nil {
-			return s.deny(tr, &req, "", "attribute certificate invalid: "+err.Error(), eng.Proof())
-		}
-		if req.Single.Cert.Issuer != s.anchors.AAName {
-			return s.deny(tr, &req, "", "attribute certificate from unexpected issuer "+req.Single.Cert.Issuer, eng.Proof())
-		}
-		group = req.Single.Cert.Group
-		ideal = pki.IdealizeAttribute(req.Single)
-		boundKey = map[string]string{req.Single.Cert.Subject.Name: req.Single.Cert.Subject.KeyID}
-		certValidity = clock.NewInterval(req.Single.Cert.NotBefore, req.Single.Cert.NotAfter)
-	} else {
-		if err := pki.VerifyThresholdAttribute(req.Threshold, s.anchors.AAKey, now); err != nil {
-			return s.deny(tr, &req, "", "threshold attribute certificate invalid: "+err.Error(), eng.Proof())
-		}
-		if req.Threshold.Cert.Issuer != s.anchors.AAName {
-			return s.deny(tr, &req, "", "threshold certificate from unexpected issuer "+req.Threshold.Cert.Issuer, eng.Proof())
-		}
-		group = req.Threshold.Cert.Group
-		ideal = pki.IdealizeThresholdAttribute(req.Threshold)
-		boundKey = make(map[string]string, len(req.Threshold.Cert.Subjects))
-		for _, sub := range req.Threshold.Cert.Subjects {
-			boundKey[sub.Name] = sub.KeyID
-		}
-		certValidity = clock.NewInterval(req.Threshold.Cert.NotBefore, req.Threshold.Cert.NotAfter)
-	}
-	memF, memStep, err := eng.VerifyCertificate(ideal, aaBelief)
+	memR, err := s.verifyMembership(st, eng, &req, now)
 	if err != nil {
-		return s.deny(tr, &req, group, "membership derivation failed: "+err.Error(), eng.Proof())
+		return s.deny(tr, &req, memR.group, err.Error(), eng.Proof())
 	}
-	mem, ok := memF.(logic.MemberOf)
-	if !ok {
-		return s.deny(tr, &req, group, "membership derivation produced unexpected formula", eng.Proof())
-	}
+	group := memR.group
 
 	// ---- Step 3: verify the signed request (message 1-4). ----
 	tr.begin(StepCosign)
-	var utterances []logic.Says
-	var utterSteps []int
-	for _, r := range req.Requests {
-		if r.Op != op || r.Object != object {
-			return s.deny(tr, &req, group, "co-signers disagree on the request", eng.Proof())
+	utterances, utterSteps, err := s.verifyCosigners(ctx, eng, &req, op, object, userKeys, memR.boundKey, now)
+	if err != nil {
+		if ctxErr(err) {
+			return s.abort(tr, err)
 		}
-		upk, ok := userKeys[r.User]
-		if !ok {
-			return s.deny(tr, &req, group, fmt.Sprintf("%s: %v", r.User, ErrMissingIdentity), eng.Proof())
-		}
-		want, ok := boundKey[r.User]
-		if !ok {
-			return s.deny(tr, &req, group, r.User+" is not a subject of the threshold certificate", eng.Proof())
-		}
-		if upk.KeyID() != want {
-			return s.deny(tr, &req, group, r.User+"'s identity key differs from the certificate binding", eng.Proof())
-		}
-		body, err := requestBody(r)
-		if err != nil {
-			return s.deny(tr, &req, group, err.Error(), eng.Proof())
-		}
-		sigVal, ok := new(big.Int).SetString(r.SigS, 16)
-		if !ok {
-			return s.deny(tr, &req, group, r.User+": malformed signature", eng.Proof())
-		}
-		if err := sharedrsa.Verify(body, upk, sharedrsa.Signature{S: sigVal}); err != nil {
-			return s.deny(tr, &req, group, r.User+": request signature invalid", eng.Proof())
-		}
-		// Idealize: ⟦User says_t ("op", object, payload-digest)⟧_Ku⁻¹.
-		content := idealContent(op, object, r.Payload)
-		ideal := logic.Sign(logic.AsMessage(logic.Says{
-			Who: logic.P(r.User),
-			T:   logic.At(r.At),
-			X:   content,
-		}), logic.KeyID(upk.KeyID()))
-		keyBelief, ok := eng.Store().KeyFor(r.User, now)
-		if !ok {
-			return s.deny(tr, &req, group, "no derived key belief for "+r.User, eng.Proof())
-		}
-		says, step, err := eng.VerifySignedRequest(ideal, keyBelief)
-		if err != nil {
-			return s.deny(tr, &req, group, "request derivation failed: "+err.Error(), eng.Proof())
-		}
-		utterances = append(utterances, says)
-		utterSteps = append(utterSteps, step)
+		return s.deny(tr, &req, group, err.Error(), eng.Proof())
 	}
 
 	// A38: conclude G says op (statement 25).
-	gs, _, err := eng.ConcludeGroupSays(mem, memStep, utterances, utterSteps)
+	gs, _, err := eng.ConcludeGroupSays(memR.mem, memR.memStep, utterances, utterSteps)
 	if err != nil {
 		return s.deny(tr, &req, group, "threshold not met: "+err.Error(), eng.Proof())
 	}
 
 	// ---- Step 4: verify the ACL. ----
 	tr.begin(StepACL)
+	if err := ctx.Err(); err != nil {
+		return s.abort(tr, err)
+	}
 	a, err := s.objects.ACLOf(object)
 	if err != nil {
 		return s.deny(tr, &req, group, "object lookup: "+err.Error(), eng.Proof())
@@ -432,7 +390,7 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 		return s.deny(tr, &req, group, fmt.Sprintf("(%s, %s) ∉ ACL_%s (including inherited groups)", group, op, object), eng.Proof())
 	}
 	// Temporal condition: tb' ≤ t1 and t6 ≤ te'.
-	if certValidity.Begin > req.Requests[0].At || now > certValidity.End {
+	if memR.certValidity.Begin > req.Requests[0].At || now > memR.certValidity.End {
 		return s.deny(tr, &req, group, "certificate validity does not span the request", eng.Proof())
 	}
 
@@ -476,6 +434,255 @@ func (s *Server) Authorize(req AccessRequest) (Decision, error) {
 	return Decision{Allowed: true, Group: group, Reason: gs.String(), RequestID: tr.id, Proof: eng.Proof(), Data: data}, nil
 }
 
+// idResult carries one identity certificate through the two verification
+// phases: the parallel cryptographic phase and the serial derivation.
+type idResult struct {
+	fp     string
+	cached bool
+	hit    cachedCert
+	upk    sharedrsa.PublicKey
+}
+
+// verifyIdentities runs Step 1: the cryptographic checks (RSA-FDH
+// signature per certificate) on the parallel fan-out with cache lookups by
+// fingerprint, then the logical derivations serially into the request's
+// fork. Cache hits skip both the RSA verification and the re-derivation;
+// validity and key-revocation are still re-checked at the current time.
+func (s *Server) verifyIdentities(ctx context.Context, st *state, eng *logic.Engine, ids []pki.Signed[pki.Identity], now clock.Time) (map[string]sharedrsa.PublicKey, error) {
+	results := make([]idResult, len(ids))
+	err := forEachParallel(ctx, len(ids), s.parallelism, func(_ context.Context, i int) error {
+		idc := ids[i]
+		r := &results[i]
+		r.fp = pki.Fingerprint(idc)
+		if e, ok := st.cache.get(r.fp); ok {
+			r.cached, r.hit = true, e
+			s.reg.Counter(MetricCacheHits, "kind", "identity").Inc()
+			return nil
+		}
+		s.reg.Counter(MetricCacheMisses, "kind", "identity").Inc()
+		caKey, ok := st.anchors.CAKeys[idc.Cert.Issuer]
+		if !ok {
+			return errors.New("identity certificate from untrusted CA " + idc.Cert.Issuer)
+		}
+		if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
+			return errors.New("identity certificate invalid: " + err.Error())
+		}
+		upk, err := idc.Cert.SubjectKey.PublicKey()
+		if err != nil {
+			return errors.New("identity certificate key malformed: " + err.Error())
+		}
+		r.upk = upk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	userKeys := make(map[string]sharedrsa.PublicKey, len(ids))
+	for i, idc := range ids {
+		r := &results[i]
+		if r.cached {
+			ks, ok := r.hit.formula.(logic.KeySpeaksFor)
+			if !ok || !r.hit.validity.Contains(now) {
+				return nil, fmt.Errorf("identity certificate invalid: %v", pki.ErrExpired)
+			}
+			if eng.Store().KeyRevoked(ks.K, now) {
+				return nil, fmt.Errorf("identity derivation failed: key %s revoked as of %s", ks.K, now)
+			}
+			eng.Replay(ks, r.hit.note)
+			userKeys[idc.Cert.Subject] = r.hit.subjectKey
+			continue
+		}
+		caBelief, ok := eng.Store().KeyFor(idc.Cert.Issuer, now)
+		if !ok {
+			return nil, errors.New("no key belief for CA " + idc.Cert.Issuer)
+		}
+		f, _, err := eng.VerifyCertificate(pki.IdealizeIdentity(idc), caBelief)
+		if err != nil {
+			return nil, errors.New("identity derivation failed: " + err.Error())
+		}
+		st.cache.put(r.fp, cachedCert{
+			formula:    f,
+			validity:   clock.NewInterval(idc.Cert.NotBefore, idc.Cert.NotAfter),
+			subjectKey: r.upk,
+			note:       "cached: identity of " + idc.Cert.Subject + " (fp " + r.fp + ")",
+		})
+		userKeys[idc.Cert.Subject] = r.upk
+	}
+	return userKeys, nil
+}
+
+// membershipResult is the outcome of Step 2.
+type membershipResult struct {
+	group        string
+	mem          logic.MemberOf
+	memStep      int
+	boundKey     map[string]string
+	certValidity clock.Interval
+}
+
+// verifyMembership runs Step 2 for the attribute certificate — threshold
+// (A38 path) or single-subject (A35 path) — consulting the verified-
+// certificate cache by fingerprint.
+func (s *Server) verifyMembership(st *state, eng *logic.Engine, req *AccessRequest, now clock.Time) (membershipResult, error) {
+	var (
+		out      membershipResult
+		fp       string
+		ideal    logic.Signed
+		issuer   string
+		issuedTo string
+	)
+	if req.SingleSubject {
+		c := req.Single.Cert
+		out.group, issuer, issuedTo = c.Group, c.Issuer, c.Subject.Name
+		out.boundKey = map[string]string{c.Subject.Name: c.Subject.KeyID}
+		out.certValidity = clock.NewInterval(c.NotBefore, c.NotAfter)
+		fp = pki.Fingerprint(req.Single)
+	} else {
+		c := req.Threshold.Cert
+		out.group, issuer = c.Group, c.Issuer
+		out.boundKey = make(map[string]string, len(c.Subjects))
+		for _, sub := range c.Subjects {
+			out.boundKey[sub.Name] = sub.KeyID
+		}
+		out.certValidity = clock.NewInterval(c.NotBefore, c.NotAfter)
+		fp = pki.Fingerprint(req.Threshold)
+	}
+	if issuer != st.anchors.AAName {
+		return out, fmt.Errorf("%s certificate from unexpected issuer %s", certKind(req), issuer)
+	}
+
+	if e, ok := st.cache.get(fp); ok {
+		s.reg.Counter(MetricCacheHits, "kind", "attribute").Inc()
+		mem, isMem := e.formula.(logic.MemberOf)
+		if !isMem || !e.validity.Contains(now) {
+			return out, fmt.Errorf("%s certificate invalid: %v", certKind(req), pki.ErrExpired)
+		}
+		if eng.Store().Revoked(mem.Who, mem.G, now) {
+			return out, fmt.Errorf("membership derivation failed: membership of %s in %s revoked as of %s",
+				mem.Who, mem.G.Name, now)
+		}
+		out.mem = mem
+		out.memStep = eng.Replay(mem, e.note)
+		return out, nil
+	}
+	s.reg.Counter(MetricCacheMisses, "kind", "attribute").Inc()
+
+	if req.SingleSubject {
+		if err := pki.VerifyAttribute(req.Single, st.anchors.AAKey, now); err != nil {
+			return out, errors.New("attribute certificate invalid: " + err.Error())
+		}
+		ideal = pki.IdealizeAttribute(req.Single)
+	} else {
+		if err := pki.VerifyThresholdAttribute(req.Threshold, st.anchors.AAKey, now); err != nil {
+			return out, errors.New("threshold attribute certificate invalid: " + err.Error())
+		}
+		ideal = pki.IdealizeThresholdAttribute(req.Threshold)
+	}
+	aaBelief, ok := eng.Store().KeyFor(st.anchors.AAName, now)
+	if !ok {
+		return out, errors.New("no key belief for AA")
+	}
+	memF, memStep, err := eng.VerifyCertificate(ideal, aaBelief)
+	if err != nil {
+		return out, errors.New("membership derivation failed: " + err.Error())
+	}
+	mem, ok := memF.(logic.MemberOf)
+	if !ok {
+		return out, errors.New("membership derivation produced unexpected formula")
+	}
+	out.mem, out.memStep = mem, memStep
+	st.cache.put(fp, cachedCert{
+		formula:  mem,
+		validity: out.certValidity,
+		note:     "cached: membership of " + issuedTo + " in " + out.group + " (fp " + fp + ")",
+	})
+	return out, nil
+}
+
+// certKind names the attribute certificate kind in denial reasons.
+func certKind(req *AccessRequest) string {
+	if req.SingleSubject {
+		return "attribute"
+	}
+	return "threshold"
+}
+
+// cosignItem is one co-signer's request component prepared for the
+// parallel signature check.
+type cosignItem struct {
+	user string
+	body []byte
+	sig  sharedrsa.Signature
+	upk  sharedrsa.PublicKey
+}
+
+// verifyCosigners runs Step 3: the per-signer structural checks serially
+// (agreement on the request, certificate binding), the RSA signature
+// verifications on the bounded parallel fan-out (first failure cancels the
+// rest), and the logical derivations serially into the request's fork.
+func (s *Server) verifyCosigners(ctx context.Context, eng *logic.Engine, req *AccessRequest, op acl.Permission, object string, userKeys map[string]sharedrsa.PublicKey, boundKey map[string]string, now clock.Time) ([]logic.Says, []int, error) {
+	items := make([]cosignItem, len(req.Requests))
+	for i, r := range req.Requests {
+		if r.Op != op || r.Object != object {
+			return nil, nil, errors.New("co-signers disagree on the request")
+		}
+		upk, ok := userKeys[r.User]
+		if !ok {
+			return nil, nil, fmt.Errorf("%s: %v", r.User, ErrMissingIdentity)
+		}
+		want, ok := boundKey[r.User]
+		if !ok {
+			return nil, nil, errors.New(r.User + " is not a subject of the threshold certificate")
+		}
+		if upk.KeyID() != want {
+			return nil, nil, errors.New(r.User + "'s identity key differs from the certificate binding")
+		}
+		body, err := requestBody(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		sigVal, ok := new(big.Int).SetString(r.SigS, 16)
+		if !ok {
+			return nil, nil, errors.New(r.User + ": malformed signature")
+		}
+		items[i] = cosignItem{user: r.User, body: body, sig: sharedrsa.Signature{S: sigVal}, upk: upk}
+	}
+
+	err := forEachParallel(ctx, len(items), s.parallelism, func(_ context.Context, i int) error {
+		if err := sharedrsa.Verify(items[i].body, items[i].upk, items[i].sig); err != nil {
+			return errors.New(items[i].user + ": request signature invalid")
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var utterances []logic.Says
+	var utterSteps []int
+	for i, r := range req.Requests {
+		// Idealize: ⟦User says_t ("op", object, payload-digest)⟧_Ku⁻¹.
+		content := idealContent(op, object, r.Payload)
+		ideal := logic.Sign(logic.AsMessage(logic.Says{
+			Who: logic.P(r.User),
+			T:   logic.At(r.At),
+			X:   content,
+		}), logic.KeyID(items[i].upk.KeyID()))
+		keyBelief, ok := eng.Store().KeyFor(r.User, now)
+		if !ok {
+			return nil, nil, errors.New("no derived key belief for " + r.User)
+		}
+		says, step, err := eng.VerifySignedRequest(ideal, keyBelief)
+		if err != nil {
+			return nil, nil, errors.New("request derivation failed: " + err.Error())
+		}
+		utterances = append(utterances, says)
+		utterSteps = append(utterSteps, step)
+	}
+	return utterances, utterSteps, nil
+}
+
 // idealContent renders the request content as the logic message of the
 // protocol ("write" O), extended with a payload digest when present.
 func idealContent(op acl.Permission, object string, payload []byte) logic.Message {
@@ -501,63 +708,63 @@ func fold(b []byte) uint32 {
 }
 
 // ProcessGroupLink verifies a privilege-inheritance certificate from the
-// AA and records the derived "Sub ⇒ Sup" belief; members of Sub then pass
-// Step 4 against ACL entries naming Sup.
+// AA and records the derived "Sub ⇒ Sup" belief in a new snapshot; members
+// of Sub then pass Step 4 against ACL entries naming Sup.
 func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
-	if link.Cert.Issuer != s.anchors.AAName {
-		return fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
-	}
-	if err := pki.VerifyGroupLink(link, s.anchors.AAKey, now); err != nil {
-		return fmt.Errorf("%w: %v", ErrDenied, err)
-	}
-	aaBelief, ok := s.eng.Store().KeyFor(s.anchors.AAName, now)
-	if !ok {
-		return fmt.Errorf("%w: no key belief for AA", ErrDenied)
-	}
-	if _, _, err := s.eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
-		return fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
-	}
-	return nil
+	return s.mutate(func(cur *state, eng *logic.Engine) error {
+		now := s.clk.Now()
+		if link.Cert.Issuer != cur.anchors.AAName {
+			return fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
+		}
+		if err := pki.VerifyGroupLink(link, cur.anchors.AAKey, now); err != nil {
+			return fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
+		if !ok {
+			return fmt.Errorf("%w: no key belief for AA", ErrDenied)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
+			return fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
+		}
+		return nil
+	})
 }
 
 // ProcessIdentityRevocation verifies an identity revocation from one of
 // the trusted domain CAs and withdraws the key binding: requests signed
 // with the revoked key are denied from the effective time on (identity
-// revocation per Stubblebine–Wright, which the paper defers to).
+// revocation per Stubblebine–Wright, which the paper defers to). The
+// snapshot swap discards every cached certificate verification.
 func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) (err error) {
 	defer func(start time.Time) { s.observeRevocation("identity", start, err) }(time.Now())
-	caKey, ok := s.anchors.CAKeys[rev.Cert.Issuer]
-	if !ok {
-		return fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
-	}
-	if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
-		return fmt.Errorf("%w: %v", ErrDenied, err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
-	eng := s.eng
-	neg := logic.Not{F: logic.KeySpeaksFor{
-		K:   logic.KeyID(rev.Cert.KeyID),
-		T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
-		Who: logic.P(rev.Cert.Subject),
-	}}
-	step := eng.Proof().Append(logic.RuleRevocation, nil, neg, now,
-		fmt.Sprintf("identity key of %s revoked by %s effective %s",
-			rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
-	eng.Store().Add(neg, now, step)
-	eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
-	if s.log != nil {
-		s.log.Record(audit.Entry{
-			At: now, Outcome: audit.RevocationRecorded, Server: s.name,
-			Requestor: rev.Cert.Issuer,
-			Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
-		})
-	}
-	return nil
+	return s.mutate(func(cur *state, eng *logic.Engine) error {
+		caKey, ok := cur.anchors.CAKeys[rev.Cert.Issuer]
+		if !ok {
+			return fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
+			return fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		now := s.clk.Now()
+		neg := logic.Not{F: logic.KeySpeaksFor{
+			K:   logic.KeyID(rev.Cert.KeyID),
+			T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
+			Who: logic.P(rev.Cert.Subject),
+		}}
+		step := eng.Proof().Append(logic.RuleRevocation, nil, neg, now,
+			fmt.Sprintf("identity key of %s revoked by %s effective %s",
+				rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
+		eng.Store().Add(neg, now, step)
+		eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
+		if s.log != nil {
+			s.log.Record(audit.Entry{
+				At: now, Outcome: audit.RevocationRecorded, Server: s.name,
+				Requestor: rev.Cert.Issuer,
+				Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
+			})
+		}
+		return nil
+	})
 }
 
 // ProcessCRL verifies a signed revocation list and feeds every entry into
@@ -565,12 +772,13 @@ func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation
 // refresh of Section 4.3. It returns how many entries were newly recorded.
 func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
 	defer func(start time.Time) { s.observeRevocation("crl", start, err) }(time.Now())
+	anchors := s.state.Load().anchors
 	var issuerKey sharedrsa.PublicKey
 	switch crl.CRL.Issuer {
-	case s.anchors.RAName:
-		issuerKey = s.anchors.RAKey
-	case s.anchors.AAName:
-		issuerKey = s.anchors.AAKey
+	case anchors.RAName:
+		issuerKey = anchors.RAKey
+	case anchors.AAName:
+		issuerKey = anchors.AAKey
 	default:
 		return 0, fmt.Errorf("%w: CRL from untrusted issuer %s", ErrDenied, crl.CRL.Issuer)
 	}
@@ -578,10 +786,8 @@ func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
 		return 0, fmt.Errorf("%w: %v", ErrDenied, err)
 	}
 	for _, rev := range crl.CRL.Entries {
-		s.mu.Lock()
-		already := s.eng.Store().Revoked(
+		already := s.state.Load().eng.Store().Revoked(
 			pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M), logic.G(rev.Cert.Group), s.clk.Now())
-		s.mu.Unlock()
 		if already {
 			continue
 		}
@@ -594,38 +800,40 @@ func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
 }
 
 // ProcessRevocation verifies a revocation certificate (from the RA or the
-// AA itself) and records the negative belief; subsequent derivations for
-// the revoked membership fail (believe-until-revoked).
+// AA itself) and records the negative belief in a new snapshot; subsequent
+// derivations for the revoked membership fail (believe-until-revoked), and
+// every cached certificate verification is discarded with the old
+// snapshot.
 func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) (err error) {
 	defer func(start time.Time) { s.observeRevocation("membership", start, err) }(time.Now())
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var issuerKey sharedrsa.PublicKey
-	switch rev.Cert.Issuer {
-	case s.anchors.RAName:
-		issuerKey = s.anchors.RAKey
-	case s.anchors.AAName:
-		issuerKey = s.anchors.AAKey
-	default:
-		return fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
-	}
-	if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
-		return fmt.Errorf("%w: %v", ErrDenied, err)
-	}
-	keyBelief, ok := s.eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
-	if !ok {
-		return fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
-	}
-	if _, _, err := s.eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
-		return fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
-	}
-	if s.log != nil {
-		s.log.Record(audit.Entry{
-			At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
-			Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
-			Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
-			ProofTrace: s.eng.Proof().String(),
-		})
-	}
-	return nil
+	return s.mutate(func(cur *state, eng *logic.Engine) error {
+		var issuerKey sharedrsa.PublicKey
+		switch rev.Cert.Issuer {
+		case cur.anchors.RAName:
+			issuerKey = cur.anchors.RAKey
+		case cur.anchors.AAName:
+			issuerKey = cur.anchors.AAKey
+		default:
+			return fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
+			return fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		keyBelief, ok := eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
+		if !ok {
+			return fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
+			return fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
+		}
+		if s.log != nil {
+			s.log.Record(audit.Entry{
+				At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+				Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
+				Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
+				ProofTrace: eng.Proof().String(),
+			})
+		}
+		return nil
+	})
 }

@@ -1,6 +1,7 @@
 package authz
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -110,18 +111,30 @@ func (f *fixture) subjects() []pki.BoundSubject {
 // newServer builds a server over the fixture's trust material with Object
 // O installed.
 func (f *fixture) newServer(log *audit.Log) *Server {
+	return f.newServerFreshness(log, 0)
+}
+
+// anchors builds the fixture's trust anchors with a freshness window.
+func (f *fixture) anchors(freshness int64) TrustAnchors {
 	anchors := TrustAnchors{
-		AAName:     "AA",
-		AAKey:      f.est.AA.Public(),
-		Domains:    []string{"D1", "D2", "D3"},
-		CAKeys:     make(map[string]sharedrsa.PublicKey, 3),
-		RAName:     "RA",
-		RAKey:      f.ra.Public(),
-		TrustSince: 0,
+		AAName:          "AA",
+		AAKey:           f.est.AA.Public(),
+		Domains:         []string{"D1", "D2", "D3"},
+		CAKeys:          make(map[string]sharedrsa.PublicKey, 3),
+		RAName:          "RA",
+		RAKey:           f.ra.Public(),
+		TrustSince:      0,
+		FreshnessWindow: freshness,
 	}
 	for name, ca := range f.cas {
 		anchors.CAKeys[name] = ca.Public()
 	}
+	return anchors
+}
+
+// newServerFreshness is newServer with a freshness window in the anchors
+// (anchors are immutable once the server is running).
+func (f *fixture) newServerFreshness(log *audit.Log, freshness int64) *Server {
 	store := acl.NewStore(f.clk)
 	objACL, err := acl.NewACL(
 		acl.Entry{Group: "G_write", Perms: []acl.Permission{acl.Write}},
@@ -134,7 +147,7 @@ func (f *fixture) newServer(log *audit.Log) *Server {
 	if err := store.Create("O", objACL, []byte("genome v1"), "G_policy"); err != nil {
 		panic(err)
 	}
-	return NewServer("P", f.clk, anchors, store, log)
+	return NewServer("P", f.clk, f.anchors(freshness), store, log)
 }
 
 // writeRequest builds the Figure 2(b) joint write request signed by the
@@ -156,7 +169,7 @@ func (f *fixture) writeRequest(t *testing.T, payload []byte, signers ...string) 
 func TestFigure2WriteFlow(t *testing.T) {
 	f := newFixture(t)
 	req := f.writeRequest(t, []byte("genome v2"), "User_D1", "User_D2")
-	dec, err := f.server.Authorize(req)
+	dec, err := f.server.Authorize(context.Background(), req)
 	if err != nil {
 		t.Fatalf("write 2-of-3: %v", err)
 	}
@@ -181,7 +194,7 @@ func TestWriteDeniedWithOneSigner(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
 	req := f.writeRequest(t, []byte("unilateral"), "User_D1")
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("1-of-2-of-3 write: %v", err)
 	}
 	// Object unchanged.
@@ -201,7 +214,7 @@ func TestFigure2ReadFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Requests = append(req.Requests, r)
-	dec, err := server.Authorize(req)
+	dec, err := server.Authorize(context.Background(), req)
 	if err != nil {
 		t.Fatalf("read 1-of-3: %v", err)
 	}
@@ -225,7 +238,7 @@ func TestReadCertificateCannotWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Requests = append(req.Requests, r)
-	_, err = server.Authorize(req)
+	_, err = server.Authorize(context.Background(), req)
 	if !errors.Is(err, ErrDenied) || !strings.Contains(err.Error(), "∉ ACL") {
 		t.Fatalf("read-cert write: %v", err)
 	}
@@ -242,7 +255,7 @@ func TestForgedRequestSignatureDenied(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Requests[1] = bad
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("forged signature accepted: %v", err)
 	}
 }
@@ -253,7 +266,7 @@ func TestTamperedPayloadDenied(t *testing.T) {
 	req := f.writeRequest(t, []byte("agreed content"), "User_D1", "User_D2")
 	// The requestor swaps the payload after collecting co-signatures.
 	req.Requests[0].Payload = []byte("swapped content")
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("tampered payload accepted: %v", err)
 	}
 }
@@ -274,7 +287,7 @@ func TestDivergentPayloadsDenied(t *testing.T) {
 		}
 		req.Requests = append(req.Requests, r)
 	}
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("divergent payloads accepted: %v", err)
 	}
 }
@@ -284,7 +297,7 @@ func TestMissingIdentityCertificateDenied(t *testing.T) {
 	server := f.newServer(nil)
 	req := f.writeRequest(t, []byte("x"), "User_D1", "User_D2")
 	req.Identities = req.Identities[:1] // drop User_D2's certificate
-	_, err := server.Authorize(req)
+	_, err := server.Authorize(context.Background(), req)
 	if !errors.Is(err, ErrDenied) {
 		t.Fatalf("missing identity accepted: %v", err)
 	}
@@ -311,7 +324,7 @@ func TestNonSubjectSignerDenied(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Requests = append(req.Requests, r)
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("non-subject signer accepted: %v", err)
 	}
 }
@@ -322,7 +335,7 @@ func TestRevocationReasoning(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
 	req := f.writeRequest(t, []byte("before revocation"), "User_D1", "User_D2")
-	if _, err := server.Authorize(req); err != nil {
+	if _, err := server.Authorize(context.Background(), req); err != nil {
 		t.Fatalf("pre-revocation write: %v", err)
 	}
 
@@ -335,7 +348,7 @@ func TestRevocationReasoning(t *testing.T) {
 	}
 	f.clk.Tick()
 	req2 := f.writeRequest(t, []byte("after revocation"), "User_D1", "User_D2")
-	if _, err := server.Authorize(req2); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req2); !errors.Is(err, ErrDenied) {
 		t.Fatalf("post-revocation write: %v", err)
 	}
 	// Reads under the separate G_read certificate still work.
@@ -346,7 +359,7 @@ func TestRevocationReasoning(t *testing.T) {
 		t.Fatal(err)
 	}
 	readReq.Requests = append(readReq.Requests, r)
-	if _, err := server.Authorize(readReq); err != nil {
+	if _, err := server.Authorize(context.Background(), readReq); err != nil {
 		t.Fatalf("read after unrelated revocation: %v", err)
 	}
 }
@@ -391,21 +404,20 @@ func TestPolicyObjectModification(t *testing.T) {
 		}
 		req.Requests = append(req.Requests, r)
 	}
-	if _, err := server.Authorize(req); err != nil {
+	if _, err := server.Authorize(context.Background(), req); err != nil {
 		t.Fatalf("policy modification: %v", err)
 	}
 	// The write entry is gone: previously valid writes are now denied at
 	// Step 4.
 	wreq := f.writeRequest(t, []byte("x"), "User_D1", "User_D2")
-	if _, err := server.Authorize(wreq); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), wreq); !errors.Is(err, ErrDenied) {
 		t.Fatalf("write after ACL tightening: %v", err)
 	}
 }
 
 func TestFreshnessWindow(t *testing.T) {
 	f := newFixture(t)
-	server := f.newServer(nil)
-	server.anchors.FreshnessWindow = 10
+	server := f.newServerFreshness(nil, 10)
 	req := AccessRequest{Threshold: f.writeAC}
 	for _, u := range []string{"User_D1", "User_D2"} {
 		req.Identities = append(req.Identities, f.idCerts[u])
@@ -416,7 +428,7 @@ func TestFreshnessWindow(t *testing.T) {
 		}
 		req.Requests = append(req.Requests, r)
 	}
-	_, err := server.Authorize(req)
+	_, err := server.Authorize(context.Background(), req)
 	if !errors.Is(err, ErrDenied) || !strings.Contains(err.Error(), "freshness") {
 		t.Fatalf("stale request accepted: %v", err)
 	}
@@ -427,11 +439,11 @@ func TestAuditTrail(t *testing.T) {
 	log := audit.NewLog()
 	server := f.newServer(log)
 	req := f.writeRequest(t, []byte("audited"), "User_D1", "User_D2")
-	if _, err := server.Authorize(req); err != nil {
+	if _, err := server.Authorize(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	bad := f.writeRequest(t, []byte("x"), "User_D1")
-	_, _ = server.Authorize(bad)
+	_, _ = server.Authorize(context.Background(), bad)
 
 	if got := len(log.ByOutcome(audit.Approved)); got != 1 {
 		t.Errorf("approved entries = %d", got)
@@ -451,7 +463,7 @@ func TestAuditTrail(t *testing.T) {
 func TestEmptyRequestDenied(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
-	if _, err := server.Authorize(AccessRequest{Threshold: f.writeAC}); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), AccessRequest{Threshold: f.writeAC}); !errors.Is(err, ErrDenied) {
 		t.Fatalf("empty request: %v", err)
 	}
 }
@@ -468,7 +480,7 @@ func TestUnknownObjectDenied(t *testing.T) {
 		}
 		req.Requests = append(req.Requests, r)
 	}
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("unknown object: %v", err)
 	}
 }

@@ -54,6 +54,21 @@ const (
 	MetricRevocations = "authz_revocations_total"
 	// MetricRevocationSeconds times revocation processing, labeled by kind.
 	MetricRevocationSeconds = "authz_revocation_seconds"
+	// MetricCanceled counts requests aborted by context cancellation,
+	// labeled by the step that was interrupted. Canceled requests are
+	// neither approvals nor denials.
+	MetricCanceled = "authz_canceled_total"
+	// MetricCacheHits counts verified-certificate cache hits, labeled by
+	// certificate kind (identity, attribute).
+	MetricCacheHits = "authz_cert_cache_hits_total"
+	// MetricCacheMisses counts verified-certificate cache misses, labeled
+	// by certificate kind (identity, attribute).
+	MetricCacheMisses = "authz_cert_cache_misses_total"
+	// MetricCacheInvalidated counts cache entries discarded by belief
+	// mutations (revocations, group links, re-anchoring).
+	MetricCacheInvalidated = "authz_cert_cache_invalidated_total"
+	// MetricSnapshotSwaps counts published belief snapshots.
+	MetricSnapshotSwaps = "authz_snapshot_swaps_total"
 )
 
 // Instrument injects a metrics registry. Call it once, before serving;
@@ -111,6 +126,14 @@ func (t *reqTrace) finish(allowed bool, deniedStep string) {
 	} else {
 		t.s.reg.Counter(MetricDenied, "step", deniedStep).Inc()
 	}
+	t.s.reg.Histogram(MetricRequestSeconds, nil).Observe(time.Since(t.t0).Seconds())
+}
+
+// finishCanceled records the request-level metrics for a request aborted
+// by context cancellation (counted apart from approvals and denials).
+func (t *reqTrace) finishCanceled(step string) {
+	t.s.reg.Counter(MetricRequests).Inc()
+	t.s.reg.Counter(MetricCanceled, "step", step).Inc()
 	t.s.reg.Histogram(MetricRequestSeconds, nil).Observe(time.Since(t.t0).Seconds())
 }
 

@@ -1,6 +1,7 @@
 package authz
 
 import (
+	"context"
 	"testing"
 
 	"jointadmin/internal/acl"
@@ -18,7 +19,7 @@ func TestApprovedRequestTrace(t *testing.T) {
 	reg := obs.NewRegistry()
 	server.Instrument(reg)
 
-	dec, err := server.Authorize(f.writeRequest(t, []byte("v2"), "User_D1", "User_D2"))
+	dec, err := server.Authorize(context.Background(), f.writeRequest(t, []byte("v2"), "User_D1", "User_D2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestDeniedRequestTrace(t *testing.T) {
 	reg := obs.NewRegistry()
 	server.Instrument(reg)
 
-	dec, err := server.Authorize(f.writeRequest(t, []byte("nope"), "User_D1"))
+	dec, err := server.Authorize(context.Background(), f.writeRequest(t, []byte("nope"), "User_D1"))
 	if err == nil {
 		t.Fatal("single-signer write approved under 2-of-3 certificate")
 	}
@@ -118,7 +119,7 @@ func TestACLDenialTrace(t *testing.T) {
 		}
 		req.Requests = append(req.Requests, r)
 	}
-	dec, err := server.Authorize(req)
+	dec, err := server.Authorize(context.Background(), req)
 	if err == nil {
 		t.Fatal("modify approved for write-only group")
 	}

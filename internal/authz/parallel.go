@@ -1,0 +1,111 @@
+package authz
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// defaultParallelism bounds the per-request signature-verification fan-out.
+func defaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetVerifyParallelism bounds the number of co-signer RSA verifications a
+// single request runs concurrently (default: GOMAXPROCS). n ≤ 1 forces the
+// serial path. Call before serving; the value is read without locking.
+func (s *Server) SetVerifyParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.parallelism = n
+}
+
+// forEachParallel runs fn(i) for i in [0, n) on at most limit workers. The
+// first failure cancels the context handed to fn, so slow verifications
+// stop early; the error reported is the lowest-index real failure (worker
+// aborts caused by the cancellation itself are not failures). A canceled
+// parent context surfaces as ctx.Err.
+func forEachParallel(ctx context.Context, n, limit int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel() // first failure stops the rest
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report deterministically: the lowest-index failure that is not a
+	// cancellation echo. If only echoes remain, the parent was canceled.
+	var echo error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			if echo == nil {
+				echo = err
+			}
+			continue
+		}
+		return err
+	}
+	if echo != nil && ctx.Err() != nil {
+		return echo
+	}
+	return nil
+}

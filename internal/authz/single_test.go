@@ -1,6 +1,7 @@
 package authz
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func (f *fixture) singleReadRequest(t *testing.T, user string) AccessRequest {
 func TestSingleSubjectAttributeRead(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
-	dec, err := server.Authorize(f.singleReadRequest(t, "User_D3"))
+	dec, err := server.Authorize(context.Background(), f.singleReadRequest(t, "User_D3"))
 	if err != nil {
 		t.Fatalf("A35 read: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestSingleSubjectWrongSigner(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Requests = []UserRequest{r}
-	if _, err := server.Authorize(req); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req); !errors.Is(err, ErrDenied) {
 		t.Fatalf("non-subject signer accepted on A35 path: %v", err)
 	}
 }
@@ -67,7 +68,7 @@ func TestSingleSubjectRevocation(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
 	req := f.singleReadRequest(t, "User_D3")
-	if _, err := server.Authorize(req); err != nil {
+	if _, err := server.Authorize(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	// Revoke the single-subject membership (M = 0 in the revocation body
@@ -81,7 +82,7 @@ func TestSingleSubjectRevocation(t *testing.T) {
 	}
 	f.clk.Tick()
 	req2 := f.singleReadRequest(t, "User_D3")
-	if _, err := server.Authorize(req2); !errors.Is(err, ErrDenied) {
+	if _, err := server.Authorize(context.Background(), req2); !errors.Is(err, ErrDenied) {
 		t.Fatalf("A35 read after revocation: %v", err)
 	}
 }

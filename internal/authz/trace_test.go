@@ -1,6 +1,7 @@
 package authz
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestAuthorizationDerivationTrace(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
 	req := f.writeRequest(t, []byte("traced"), "User_D1", "User_D2")
-	dec, err := server.Authorize(req)
+	dec, err := server.Authorize(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAuthorizationDerivationTrace(t *testing.T) {
 func TestProcessCRL(t *testing.T) {
 	f := newFixture(t)
 	server := f.newServer(nil)
-	if _, err := server.Authorize(f.writeRequest(t, []byte("ok"), "User_D1", "User_D2")); err != nil {
+	if _, err := server.Authorize(context.Background(), f.writeRequest(t, []byte("ok"), "User_D1", "User_D2")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.ra.Revoke(f.writeAC, f.clk.Now()); err != nil {
@@ -116,7 +117,7 @@ func TestProcessCRL(t *testing.T) {
 		t.Errorf("re-applied = %d, want 0", applied)
 	}
 	f.clk.Tick()
-	if _, err := server.Authorize(f.writeRequest(t, []byte("no"), "User_D1", "User_D2")); err == nil {
+	if _, err := server.Authorize(context.Background(), f.writeRequest(t, []byte("no"), "User_D1", "User_D2")); err == nil {
 		t.Fatal("write approved after CRL revocation")
 	}
 }

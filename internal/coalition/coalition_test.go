@@ -1,6 +1,7 @@
 package coalition
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -178,7 +179,7 @@ func TestRekeyEndToEndWithServer(t *testing.T) {
 	}
 	oldServer := newServerFor(t, c, clk)
 	req := buildWrite(t, c, clk, []byte("epoch1"), "u1", "u2")
-	if _, err := oldServer.Authorize(req); err != nil {
+	if _, err := oldServer.Authorize(context.Background(), req); err != nil {
 		t.Fatalf("epoch-1 write: %v", err)
 	}
 
@@ -186,11 +187,11 @@ func TestRekeyEndToEndWithServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	req2 := buildWrite(t, c, clk, []byte("epoch2"), "u1", "u2")
-	if _, err := oldServer.Authorize(req2); err == nil {
+	if _, err := oldServer.Authorize(context.Background(), req2); err == nil {
 		t.Fatal("old-epoch server accepted a new-epoch certificate")
 	}
 	newServer := newServerFor(t, c, clk)
-	if _, err := newServer.Authorize(req2); err != nil {
+	if _, err := newServer.Authorize(context.Background(), req2); err != nil {
 		t.Fatalf("re-anchored server rejected epoch-2 write: %v", err)
 	}
 }

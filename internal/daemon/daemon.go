@@ -7,6 +7,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -140,6 +141,8 @@ func errClass(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
 	case errors.Is(err, jointadmin.ErrNoGroup):
 		return "no_group"
 	case errors.Is(err, jointadmin.ErrDenied):
@@ -164,10 +167,14 @@ func errClass(err error) string {
 }
 
 // Handle executes one command, counting it (and its error class, when it
-// fails) in the injected registry.
-func (d *Daemon) Handle(cmd Command) Reply {
+// fails) in the injected registry. The context cancels in-flight
+// authorization work; a nil context is treated as context.Background.
+func (d *Daemon) Handle(ctx context.Context, cmd Command) Reply {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	reply, errKind := d.handle(cmd)
+	reply, errKind := d.handle(ctx, cmd)
 	d.reg.Counter(MetricCommands, "cmd", cmd.Cmd).Inc()
 	d.reg.Histogram(MetricCommandSeconds, nil, "cmd", cmd.Cmd).ObserveSince(start)
 	if !reply.OK {
@@ -180,20 +187,24 @@ func (d *Daemon) Handle(cmd Command) Reply {
 }
 
 // handle dispatches one command and reports the error class on failure.
-func (d *Daemon) handle(cmd Command) (Reply, string) {
+func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 	a, srv := d.alliance, d.server
 	a.Clock().Tick()
 	switch cmd.Cmd {
 	case "write":
-		dec, err := a.JointRequest(srv, group(cmd.Group, "G_write"), "write",
-			d.objectOf(cmd), []byte(cmd.Data), cmd.Signers...)
+		dec, err := a.Submit(ctx, srv, jointadmin.RequestSpec{
+			Group: group(cmd.Group, "G_write"), Op: "write",
+			Object: d.objectOf(cmd), Payload: []byte(cmd.Data), Signers: cmd.Signers,
+		})
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
 		return Reply{OK: true, Detail: fmt.Sprintf("approved via %s [%s]", dec.Group, dec.RequestID)}, ""
 	case "read":
-		dec, err := a.JointRequest(srv, group(cmd.Group, "G_read"), "read",
-			d.objectOf(cmd), nil, cmd.Signers...)
+		dec, err := a.Submit(ctx, srv, jointadmin.RequestSpec{
+			Group: group(cmd.Group, "G_read"), Op: "read",
+			Object: d.objectOf(cmd), Signers: cmd.Signers,
+		})
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
@@ -219,14 +230,16 @@ func (d *Daemon) handle(cmd Command) (Reply, string) {
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (re-anchor servers)",
+		a.Reanchor(srv)
+		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (server re-anchored)",
 			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	case "leave":
 		report, err := a.Leave(cmd.Domain)
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d",
+		a.Reanchor(srv)
+		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (server re-anchored)",
 			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	default:
 		return Reply{Detail: "unknown command " + cmd.Cmd}, "unknown_command"
@@ -247,13 +260,19 @@ func group(g, def string) string {
 	return g
 }
 
-// Serve answers commands on the endpoint until it closes. The reply
-// address rides in the message kind as "cmd@addr" (the client listens on
-// an ephemeral port).
-func (d *Daemon) Serve(node *transport.TCPNode) error {
+// Serve answers commands on the endpoint until it closes or the context
+// is canceled. The reply address rides in the message kind as "cmd@addr"
+// (the client listens on an ephemeral port).
+func (d *Daemon) Serve(ctx context.Context, node *transport.TCPNode) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
-		env, err := node.Recv()
+		env, err := node.RecvContext(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err // shutdown requested
+			}
 			return nil // listener closed
 		}
 		var cmd Command
@@ -261,7 +280,7 @@ func (d *Daemon) Serve(node *transport.TCPNode) error {
 		if err := json.Unmarshal(env.Payload, &cmd); err != nil {
 			reply.Detail = "bad command: " + err.Error()
 		} else {
-			reply = d.Handle(cmd)
+			reply = d.Handle(ctx, cmd)
 		}
 		body, err := json.Marshal(reply)
 		if err != nil {

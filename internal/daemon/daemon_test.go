@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -25,16 +26,16 @@ func newDaemon(t *testing.T) *Daemon {
 
 func TestDaemonWriteReadFlow(t *testing.T) {
 	d := newDaemon(t)
-	r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"})
+	r := d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"})
 	if !r.OK {
 		t.Fatalf("write: %+v", r)
 	}
-	r = d.Handle(Command{Cmd: "read", Signers: []string{"carol"}})
+	r = d.Handle(context.Background(), Command{Cmd: "read", Signers: []string{"carol"}})
 	if !r.OK || r.Data != "v2" {
 		t.Fatalf("read: %+v", r)
 	}
 	// Threshold enforcement surfaces as a denial.
-	r = d.Handle(Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"})
+	r = d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"})
 	if r.OK {
 		t.Fatal("single-signer write approved")
 	}
@@ -45,16 +46,16 @@ func TestDaemonWriteReadFlow(t *testing.T) {
 
 func TestDaemonRevokeAndAudit(t *testing.T) {
 	d := newDaemon(t)
-	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
 		t.Fatalf("write: %+v", r)
 	}
-	if r := d.Handle(Command{Cmd: "revoke"}); !r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "revoke"}); !r.OK {
 		t.Fatalf("revoke: %+v", r)
 	}
-	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v3"}); r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v3"}); r.OK {
 		t.Fatal("post-revocation write approved")
 	}
-	r := d.Handle(Command{Cmd: "audit"})
+	r := d.Handle(context.Background(), Command{Cmd: "audit"})
 	if !r.OK || !strings.Contains(r.Data, "APPROVED") || !strings.Contains(r.Data, "DENIED") {
 		t.Fatalf("audit: %+v", r)
 	}
@@ -62,22 +63,22 @@ func TestDaemonRevokeAndAudit(t *testing.T) {
 
 func TestDaemonDynamics(t *testing.T) {
 	d := newDaemon(t)
-	r := d.Handle(Command{Cmd: "join", Domain: "D4"})
+	r := d.Handle(context.Background(), Command{Cmd: "join", Domain: "D4"})
 	if !r.OK || !strings.Contains(r.Detail, "epoch 2") {
 		t.Fatalf("join: %+v", r)
 	}
-	r = d.Handle(Command{Cmd: "leave", Domain: "D4"})
+	r = d.Handle(context.Background(), Command{Cmd: "leave", Domain: "D4"})
 	if !r.OK || !strings.Contains(r.Detail, "epoch 3") {
 		t.Fatalf("leave: %+v", r)
 	}
-	if r := d.Handle(Command{Cmd: "leave", Domain: "Ghost"}); r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "leave", Domain: "Ghost"}); r.OK {
 		t.Fatal("leave of unknown domain succeeded")
 	}
 }
 
 func TestDaemonUnknownCommand(t *testing.T) {
 	d := newDaemon(t)
-	if r := d.Handle(Command{Cmd: "fly"}); r.OK || !strings.Contains(r.Detail, "unknown") {
+	if r := d.Handle(context.Background(), Command{Cmd: "fly"}); r.OK || !strings.Contains(r.Detail, "unknown") {
 		t.Fatalf("unknown command: %+v", r)
 	}
 }
@@ -99,7 +100,7 @@ func TestDaemonOverTCP(t *testing.T) {
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)
-		_ = d.Serve(node)
+		_ = d.Serve(context.Background(), node)
 	}()
 
 	client, err := transport.ListenTCP("policyctl", "127.0.0.1:0")
@@ -150,17 +151,17 @@ func TestDaemonStatsAndTaxonomy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
 		t.Fatalf("write: %+v", r)
 	}
-	if r := d.Handle(Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"}); r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "write", Signers: []string{"alice"}, Data: "v3"}); r.OK {
 		t.Fatal("single-signer write approved")
 	}
-	if r := d.Handle(Command{Cmd: "bogus"}); r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "bogus"}); r.OK {
 		t.Fatal("bogus command accepted")
 	}
 
-	r := d.Handle(Command{Cmd: "stats"})
+	r := d.Handle(context.Background(), Command{Cmd: "stats"})
 	if !r.OK {
 		t.Fatalf("stats: %+v", r)
 	}
@@ -189,7 +190,7 @@ func TestDaemonStatsAndTaxonomy(t *testing.T) {
 // cleanly.
 func TestDaemonStatsWithoutMetrics(t *testing.T) {
 	d := newDaemon(t)
-	if r := d.Handle(Command{Cmd: "stats"}); r.OK {
+	if r := d.Handle(context.Background(), Command{Cmd: "stats"}); r.OK {
 		t.Fatal("stats succeeded without a registry")
 	}
 }

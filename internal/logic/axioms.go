@@ -38,6 +38,10 @@ const (
 	RuleA38Threshold      = "A38 (threshold member says)"
 	RuleInstantiate       = "schema instantiation"
 	RuleRevocation        = "revocation (believe-until-revoked)"
+	// RuleCachedDerivation marks a belief replayed from the verified-
+	// certificate cache: the full A10/A22/A9 chain was recorded when the
+	// certificate was first verified under the same belief snapshot.
+	RuleCachedDerivation = "cached (verified-certificate cache)"
 )
 
 // Sentinel errors callers can match on.

@@ -40,6 +40,32 @@ func (e *Engine) Store() *BeliefStore { return e.store }
 // Proof exposes the derivation log.
 func (e *Engine) Proof() *Proof { return e.proof }
 
+// Fork returns an independent copy of the engine: same owner and clock,
+// cloned belief store and proof. Derivations on the fork never touch the
+// original, which makes a sealed base engine shareable across concurrent
+// request evaluations — each request forks the base and derives into its
+// own scratch (the per-request counterpart of the Section 4.3 statement
+// lists).
+func (e *Engine) Fork() *Engine {
+	return &Engine{
+		owner: e.owner,
+		clk:   e.clk,
+		store: e.store.Clone(),
+		proof: e.proof.Clone(),
+	}
+}
+
+// Replay installs a belief previously derived from a verified certificate
+// (the verified-certificate cache): the full derivation chain was recorded
+// when the certificate was first verified under the same belief snapshot,
+// so the replayed step cites the cache instead of repeating it.
+func (e *Engine) Replay(f Formula, note string) int {
+	now := e.clk.Now()
+	id := e.proof.Append(RuleCachedDerivation, nil, f, now, note)
+	e.store.Add(f, now, id)
+	return id
+}
+
 // Assume installs an initial belief (the "Initial Beliefs" of Appendix E)
 // and returns its proof-step id.
 func (e *Engine) Assume(f Formula, note string) int {

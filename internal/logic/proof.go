@@ -68,6 +68,15 @@ func (p *Proof) Append(rule string, premises []int, conclusion Formula, at clock
 	return id
 }
 
+// Clone returns an independent copy of the proof: appends to either copy
+// never affect the other. Steps themselves are immutable values, so the
+// copy is shallow per step.
+func (p *Proof) Clone() *Proof {
+	steps := make([]Step, len(p.steps))
+	copy(steps, p.steps)
+	return &Proof{owner: p.owner, steps: steps}
+}
+
 // Steps returns a copy of the proof lines.
 func (p *Proof) Steps() []Step {
 	out := make([]Step, len(p.steps))

@@ -62,6 +62,29 @@ func (b *BeliefStore) KeyRevoked(k KeyID, t clock.Time) bool {
 	return ok && t >= at
 }
 
+// Clone returns an independent copy of the store: adds and revocations on
+// either copy never affect the other. Formulas are immutable values, so
+// entries are copied shallowly.
+func (b *BeliefStore) Clone() *BeliefStore {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c := &BeliefStore{
+		entries:     make([]Entry, len(b.entries)),
+		index:       make(map[string]int, len(b.index)),
+		revoked:     make([]Revocation, len(b.revoked)),
+		revokedKeys: make(map[KeyID]clock.Time, len(b.revokedKeys)),
+	}
+	copy(c.entries, b.entries)
+	for k, v := range b.index {
+		c.index[k] = v
+	}
+	copy(c.revoked, b.revoked)
+	for k, v := range b.revokedKeys {
+		c.revokedKeys[k] = v
+	}
+	return c
+}
+
 // Add records the belief f established at time at by proof step step. If an
 // identical formula is already held, the earlier entry is kept and its
 // position returned.

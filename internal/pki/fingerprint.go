@@ -1,0 +1,28 @@
+package pki
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable hex digest identifying a signed certificate:
+// the hash covers the concrete certificate type, the canonical JSON of the
+// body, the signer key id and the signature value. Two certificates share a
+// fingerprint only if they are byte-identical statements signed by the same
+// key — the property SPKI-style verified-certificate caches rely on.
+func Fingerprint[T any](sc Signed[T]) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%T|%s|%s|", sc.Cert, sc.SignerKey, sc.SigS)
+	// encoding/json writes struct fields in declaration order, so the
+	// encoding is deterministic (same property payload() relies on).
+	b, err := json.Marshal(sc.Cert)
+	if err != nil {
+		// Certificate bodies are plain structs; Marshal cannot fail for
+		// them. Degrade to an unmistakably unique value just in case.
+		return fmt.Sprintf("unhashable-%p", &sc)
+	}
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -212,6 +213,18 @@ func (n *TCPNode) RecvTimeout(d time.Duration) (Envelope, error) {
 		return Envelope{}, ErrClosed
 	case <-timer.C:
 		return Envelope{}, fmt.Errorf("recv after %v: %w", d, ErrRecvTimeout)
+	}
+}
+
+// RecvContext is Recv canceled by the context.
+func (n *TCPNode) RecvContext(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-n.closed:
+		return Envelope{}, ErrClosed
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
 	}
 }
 

@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,8 @@ type Endpoint interface {
 	Recv() (Envelope, error)
 	// RecvTimeout is Recv with a deadline.
 	RecvTimeout(d time.Duration) (Envelope, error)
+	// RecvContext is Recv canceled by the context (ctx.Err is returned).
+	RecvContext(ctx context.Context) (Envelope, error)
 	// Close detaches the endpoint.
 	Close() error
 }
@@ -233,6 +236,18 @@ func (e *memEndpoint) RecvTimeout(d time.Duration) (Envelope, error) {
 		return env, nil
 	case <-timer.C:
 		return Envelope{}, fmt.Errorf("recv after %v: %w", d, ErrRecvTimeout)
+	}
+}
+
+func (e *memEndpoint) RecvContext(ctx context.Context) (Envelope, error) {
+	select {
+	case env, ok := <-e.inbox:
+		if !ok {
+			return Envelope{}, ErrClosed
+		}
+		return env, nil
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
 	}
 }
 

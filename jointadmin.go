@@ -28,6 +28,7 @@
 package jointadmin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,12 @@ import (
 var (
 	// ErrDenied is returned when the authorization protocol denies access.
 	ErrDenied = authz.ErrDenied
+	// ErrStale is returned when a request timestamp falls outside the
+	// server's freshness window.
+	ErrStale = authz.ErrStale
+	// ErrMissingIdentity is returned when a co-signer's identity
+	// certificate is absent from the request.
+	ErrMissingIdentity = authz.ErrMissingIdentity
 	// ErrNoGroup indicates a request against a group with no certificate.
 	ErrNoGroup = errors.New("jointadmin: no certificate issued for group")
 )
@@ -152,30 +159,12 @@ func (a *Alliance) GrantSelective(group, user string) error {
 }
 
 // SelectiveRequest submits a request under a single-subject certificate.
+// It is a thin wrapper over Submit.
 func (a *Alliance) SelectiveRequest(s *Server, group, op, object string, payload []byte, user string) (Decision, error) {
-	cert, ok := a.c.SelectiveCertificate(group)
-	if !ok {
-		return Decision{}, fmt.Errorf("%w: %s", ErrNoGroup, group)
-	}
-	idc, err := a.c.IdentityOf(user, a.validity())
-	if err != nil {
-		return Decision{}, fmt.Errorf("jointadmin: identity of %s: %w", user, err)
-	}
-	kp, err := a.c.UserKey(user)
-	if err != nil {
-		return Decision{}, fmt.Errorf("jointadmin: key of %s: %w", user, err)
-	}
-	r, err := authz.SignRequest(user, a.clk.Now(), acl.Permission(op), object, payload, kp)
-	if err != nil {
-		return Decision{}, err
-	}
-	req := authz.AccessRequest{
-		SingleSubject: true,
-		Single:        cert,
-		Identities:    []pki.Signed[pki.Identity]{idc},
-		Requests:      []authz.UserRequest{r},
-	}
-	return s.inner.Authorize(req)
+	return a.Submit(context.Background(), s, RequestSpec{
+		Group: group, Op: op, Object: object, Payload: payload,
+		Signers: []string{user}, Selective: true,
+	})
 }
 
 // Revoke asks the revocation authority to revoke the group's certificate
@@ -306,38 +295,115 @@ func (s *Server) ReadObject(name string) ([]byte, error) {
 // Decision re-exports the authorization decision.
 type Decision = authz.Decision
 
-// JointRequest builds and submits a joint access request: the named
-// signers co-sign "op object" (with optional payload), and the request is
-// decided by the server's authorization protocol.
-func (a *Alliance) JointRequest(s *Server, group, op, object string, payload []byte, signers ...string) (Decision, error) {
-	cert, ok := a.c.Certificate(group)
-	if !ok {
-		return Decision{}, fmt.Errorf("%w: %s", ErrNoGroup, group)
+// AccessRequest re-exports the wire form of a joint access request.
+type AccessRequest = authz.AccessRequest
+
+// RequestSpec describes a joint access request to build and submit: which
+// group exercises which permission on which object, co-signed by which
+// users. It is the single request vocabulary behind JointRequest and
+// SelectiveRequest.
+type RequestSpec struct {
+	// Group names the group whose privileges the request exercises.
+	Group string
+	// Op is the permission ("read", "write", "modify").
+	Op string
+	// Object names the target object on the server.
+	Object string
+	// Payload carries write content or a new ACL (for "modify").
+	Payload []byte
+	// Signers are the co-signing users. A threshold group needs at least
+	// its quorum m; a selective group needs exactly one.
+	Signers []string
+	// Selective forces the single-subject certificate path (axiom A35).
+	// When false, Submit resolves the group's threshold certificate first
+	// and falls back to a selective certificate for single-signer specs.
+	Selective bool
+}
+
+// NewRequest builds the signed wire-form access request for a spec:
+// certificates resolved from the coalition, one signed request component
+// per signer, timestamped now. The result can be submitted directly with
+// Server.Request or shipped over a transport.
+func (a *Alliance) NewRequest(spec RequestSpec) (AccessRequest, error) {
+	var req AccessRequest
+	selective := spec.Selective
+	if !selective {
+		if _, ok := a.c.Certificate(spec.Group); !ok {
+			// Fall back to the selective certificate for a lone signer.
+			if _, sok := a.c.SelectiveCertificate(spec.Group); sok && len(spec.Signers) == 1 {
+				selective = true
+			} else {
+				return AccessRequest{}, fmt.Errorf("%w: %s", ErrNoGroup, spec.Group)
+			}
+		}
 	}
-	req := authz.AccessRequest{Threshold: cert}
-	for _, u := range signers {
+	if selective {
+		cert, ok := a.c.SelectiveCertificate(spec.Group)
+		if !ok {
+			return AccessRequest{}, fmt.Errorf("%w: %s", ErrNoGroup, spec.Group)
+		}
+		if len(spec.Signers) != 1 {
+			return AccessRequest{}, fmt.Errorf("jointadmin: selective request for %s needs exactly one signer, got %d",
+				spec.Group, len(spec.Signers))
+		}
+		req.SingleSubject = true
+		req.Single = cert
+	} else {
+		cert, _ := a.c.Certificate(spec.Group)
+		req.Threshold = cert
+	}
+	for _, u := range spec.Signers {
 		idc, err := a.c.IdentityOf(u, a.validity())
 		if err != nil {
-			return Decision{}, fmt.Errorf("jointadmin: identity of %s: %w", u, err)
+			return AccessRequest{}, fmt.Errorf("jointadmin: identity of %s: %w", u, err)
 		}
 		kp, err := a.c.UserKey(u)
 		if err != nil {
-			return Decision{}, fmt.Errorf("jointadmin: key of %s: %w", u, err)
+			return AccessRequest{}, fmt.Errorf("jointadmin: key of %s: %w", u, err)
 		}
-		r, err := authz.SignRequest(u, a.clk.Now(), acl.Permission(op), object, payload, kp)
+		r, err := authz.SignRequest(u, a.clk.Now(), acl.Permission(spec.Op), spec.Object, spec.Payload, kp)
 		if err != nil {
-			return Decision{}, err
+			return AccessRequest{}, err
 		}
 		req.Identities = append(req.Identities, idc)
 		req.Requests = append(req.Requests, r)
 	}
-	return s.inner.Authorize(req)
+	return req, nil
+}
+
+// Submit builds the request for a spec and has the server decide it. The
+// context cancels the server-side evaluation between protocol steps and
+// inside the signature-verification fan-out.
+func (a *Alliance) Submit(ctx context.Context, s *Server, spec RequestSpec) (Decision, error) {
+	req, err := a.NewRequest(spec)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.inner.Authorize(ctx, req)
+}
+
+// JointRequest builds and submits a joint access request: the named
+// signers co-sign "op object" (with optional payload), and the request is
+// decided by the server's authorization protocol. It is a thin wrapper
+// over Submit.
+func (a *Alliance) JointRequest(s *Server, group, op, object string, payload []byte, signers ...string) (Decision, error) {
+	return a.Submit(context.Background(), s, RequestSpec{
+		Group: group, Op: op, Object: object, Payload: payload, Signers: signers,
+	})
 }
 
 // Request is the lower-level entry point taking a pre-built access
 // request (for callers that transport requests over the wire).
-func (s *Server) Request(req authz.AccessRequest) (Decision, error) {
-	return s.inner.Authorize(req)
+func (s *Server) Request(ctx context.Context, req AccessRequest) (Decision, error) {
+	return s.inner.Authorize(ctx, req)
+}
+
+// Reanchor re-anchors the server at the alliance's current key epoch,
+// re-installing trust anchors after a Join/Leave rekey. The server's
+// derived beliefs and certificate cache are rebuilt from scratch: nothing
+// verified under the old epoch survives.
+func (a *Alliance) Reanchor(s *Server) {
+	s.inner.Reanchor(a.c.Anchors(a.opts.freshness))
 }
 
 // BoundSubjectsOf lists the subjects bound into the group's certificate —

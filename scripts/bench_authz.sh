@@ -1,0 +1,58 @@
+#!/bin/sh
+# Runs the authorization hot-path benchmarks (BenchmarkAuthorizeSerial,
+# BenchmarkAuthorizeParallel) and writes BENCH_authz.json at the repo root:
+# raw ns/op per variant plus the derived speedups. See docs/BENCHMARKS.md
+# for how to read the numbers.
+#
+#   scripts/bench_authz.sh [benchtime]   (default 200x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-200x}"
+OUT="BENCH_authz.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench 'BenchmarkAuthorize(Serial|Parallel)' -benchtime $BENCHTIME"
+go test -run '^$' -bench 'BenchmarkAuthorize(Serial|Parallel)' \
+    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^cpu:/      { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    nsop[name] = $3
+}
+END {
+    sc = nsop["BenchmarkAuthorizeSerial/cold"]
+    sw = nsop["BenchmarkAuthorizeSerial/warm"]
+    fw = nsop["BenchmarkAuthorizeParallel/fanout-warm"]
+    cc = nsop["BenchmarkAuthorizeParallel/concurrent-cold"]
+    cw = nsop["BenchmarkAuthorizeParallel/concurrent-warm"]
+    if (sc == "" || sw == "" || cw == "") {
+        print "bench_authz: missing benchmark results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"authorize hot path (serial vs parallel, cold vs warm cache)\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"ns_per_op\": {\n"
+    printf "    \"serial_cold\": %s,\n", sc
+    printf "    \"serial_warm\": %s,\n", sw
+    printf "    \"fanout_warm\": %s,\n", fw
+    printf "    \"concurrent_cold\": %s,\n", cc
+    printf "    \"concurrent_warm\": %s\n", cw
+    printf "  },\n"
+    printf "  \"speedup\": {\n"
+    printf "    \"redesign_vs_serial_baseline\": %.2f,\n", sc / cw
+    printf "    \"warm_cache_vs_cold\": %.2f,\n", sc / sw
+    printf "    \"concurrency_vs_serial_warm\": %.2f\n", sw / cw
+    printf "  },\n"
+    printf "  \"notes\": \"serial_cold is the pre-redesign baseline (serial verification, no cache); redesign_vs_serial_baseline compares it against concurrent requests on a warm cache. On single-CPU hosts the gain comes from the cache; concurrency adds on multi-core.\"\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

@@ -22,7 +22,10 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/obs"
-go test -race ./internal/obs
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench smoke (go test -bench=Authorize -benchtime=1x)"
+go test -run '^$' -bench=Authorize -benchtime=1x .
 
 echo "OK"
