@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI gate (scripts/check.sh).
 
-.PHONY: check build test bench fmt
+.PHONY: check build test bench bench-authz bench-fork fmt
 
 check:
 	sh scripts/check.sh
@@ -13,6 +13,13 @@ test:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Regenerates BENCH_authz.json and BENCH_fork.json (scripts/bench_authz.sh).
+bench-authz:
+	sh scripts/bench_authz.sh
+
+bench-fork:
+	go test -run '^$$' -bench=ForkScaling -benchmem -benchtime=10000x .
 
 fmt:
 	gofmt -w .

@@ -586,3 +586,42 @@ func BenchmarkDerivationOnly(b *testing.B) {
 		}
 	}
 }
+
+// ---- E9: fork scaling (layered store vs deep copy) ----
+
+// BenchmarkForkScaling measures Engine.Fork for bases of 10/100/1000
+// beliefs, sealed versus unsealed. An unsealed engine keeps everything in
+// the mutable overlay, so Fork deep-copies it — the pre-layering behavior,
+// linear in base size. Sealing moves the base into immutable shared layers,
+// making Fork O(1): the sealed series should be flat from n=10 to n=1000.
+func BenchmarkForkScaling(b *testing.B) {
+	build := func(n int) *logic.Engine {
+		eng := logic.NewEngine("P", clock.New(1))
+		for i := 0; i < n; i++ {
+			eng.Assume(logic.Prop{Name: fmt.Sprintf("belief-%d", i)}, "")
+		}
+		return eng
+	}
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("deepcopy/n=%d", n), func(b *testing.B) {
+			eng := build(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if f := eng.Fork(); f == nil {
+					b.Fatal("nil fork")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sealed/n=%d", n), func(b *testing.B) {
+			eng := build(n).Seal()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if f := eng.Fork(); f == nil {
+					b.Fatal("nil fork")
+				}
+			}
+		})
+	}
+}

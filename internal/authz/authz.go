@@ -181,7 +181,9 @@ func NewServer(name string, clk *clock.Clock, anchors TrustAnchors, objects *acl
 	return s
 }
 
-// freshEngine installs the initial beliefs (Appendix E statements 1–11).
+// freshEngine installs the initial beliefs (Appendix E statements 1–11)
+// and seals the engine, so per-request forks of the published snapshot are
+// O(1) regardless of the base belief count.
 func freshEngine(name string, clk *clock.Clock, a TrustAnchors) *logic.Engine {
 	eng := logic.NewEngine(name, clk)
 	horizon := clock.Infinity
@@ -225,7 +227,7 @@ func freshEngine(name string, clk *clock.Clock, a TrustAnchors) *logic.Engine {
 		eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.RAName), Since: a.TrustSince, Server: name},
 			"RA controls accuracy time")
 	}
-	return eng
+	return eng.Seal()
 }
 
 // Engine returns a private fork of the current belief snapshot's engine:

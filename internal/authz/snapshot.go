@@ -105,9 +105,12 @@ func (c *certCache) len() int {
 }
 
 // mutate runs fn against a fork of the current base engine and, on
-// success, publishes the fork as the new snapshot with a fresh certificate
-// cache. On error the fork is discarded and the published state is
-// untouched. Mutators are serialized by s.mu; Authorize never takes it.
+// success, seals the fork and publishes it as the new snapshot with a
+// fresh certificate cache. Sealing folds the mutation's overlay into the
+// immutable base layers, so Authorize's per-request forks of the new
+// snapshot stay O(1). On error the fork is discarded and the published
+// state is untouched. Mutators are serialized by s.mu; Authorize never
+// takes it.
 func (s *Server) mutate(fn func(cur *state, eng *logic.Engine) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,6 +119,7 @@ func (s *Server) mutate(fn func(cur *state, eng *logic.Engine) error) error {
 	if err := fn(cur, eng); err != nil {
 		return err
 	}
+	eng.Seal()
 	s.publish(&state{
 		anchors:   cur.anchors,
 		eng:       eng,

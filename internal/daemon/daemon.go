@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"jointadmin"
@@ -65,6 +67,10 @@ type Config struct {
 	// Optional; leave nil to run without metrics. The registry is
 	// injected, never global, so embedders and tests own their own.
 	Metrics *obs.Registry
+	// Workers bounds how many commands Serve handles concurrently
+	// (default GOMAXPROCS). Replies are written by a single sender
+	// goroutine, so the transport never sees interleaved frames.
+	Workers int
 }
 
 // Daemon metric names.
@@ -76,6 +82,11 @@ const (
 	// MetricCommandErrors counts failed commands, labeled cmd=<name> and
 	// kind=<error class> (see errClass).
 	MetricCommandErrors = "daemon_command_errors_total"
+	// MetricInflight gauges commands currently being handled.
+	MetricInflight = "daemon_inflight"
+	// MetricServeErrors counts Serve loops terminated by a transport
+	// failure (as opposed to a clean listener close or context cancel).
+	MetricServeErrors = "daemon_serve_errors_total"
 )
 
 // Daemon is the running coalition policy service.
@@ -84,6 +95,17 @@ type Daemon struct {
 	server   *jointadmin.Server
 	object   string
 	reg      *obs.Registry
+	workers  int
+
+	// dyn gates coalition dynamics (revoke, join, leave — which rewrite
+	// alliance certificates and re-anchor the server) against the request
+	// commands that run concurrently on the worker pool. Request commands
+	// share the read side; dynamics take the write side.
+	dyn sync.RWMutex
+
+	// handleStarted, when set (tests), runs after a command is counted
+	// in-flight and before it is dispatched.
+	handleStarted func(Command)
 }
 
 // New forms the alliance, enrolls the users, issues the write/read
@@ -124,7 +146,11 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	srv.Authz().Instrument(cfg.Metrics)
-	return &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics}, nil
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics, workers: workers}, nil
 }
 
 // Alliance exposes the underlying alliance (tests, dynamics).
@@ -167,11 +193,20 @@ func errClass(err error) string {
 }
 
 // Handle executes one command, counting it (and its error class, when it
-// fails) in the injected registry. The context cancels in-flight
-// authorization work; a nil context is treated as context.Background.
+// fails) in the injected registry. Handle is safe for concurrent use —
+// Serve's worker pool calls it from several goroutines; coalition
+// dynamics are serialized against in-flight requests internally. The
+// context cancels in-flight authorization work; a nil context is treated
+// as context.Background.
 func (d *Daemon) Handle(ctx context.Context, cmd Command) Reply {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	inflight := d.reg.Gauge(MetricInflight)
+	inflight.Inc()
+	defer inflight.Dec()
+	if d.handleStarted != nil {
+		d.handleStarted(cmd)
 	}
 	start := time.Now()
 	reply, errKind := d.handle(ctx, cmd)
@@ -189,6 +224,14 @@ func (d *Daemon) Handle(ctx context.Context, cmd Command) Reply {
 // handle dispatches one command and reports the error class on failure.
 func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 	a, srv := d.alliance, d.server
+	switch cmd.Cmd {
+	case "revoke", "join", "leave":
+		d.dyn.Lock()
+		defer d.dyn.Unlock()
+	default:
+		d.dyn.RLock()
+		defer d.dyn.RUnlock()
+	}
 	a.Clock().Tick()
 	switch cmd.Cmd {
 	case "write":
@@ -260,40 +303,116 @@ func group(g, def string) string {
 	return g
 }
 
+// commandNode is the transport surface Serve drives: receive commands,
+// learn reply addresses, send replies. *transport.TCPNode implements it;
+// tests supply fakes.
+type commandNode interface {
+	RecvContext(ctx context.Context) (transport.Envelope, error)
+	AddPeer(name, addr string)
+	Send(to, kind string, payload []byte) error
+}
+
+var _ commandNode = (*transport.TCPNode)(nil)
+
+// outbound is one reply routed back to its sender.
+type outbound struct {
+	to   string
+	addr string
+	body []byte
+}
+
 // Serve answers commands on the endpoint until it closes or the context
 // is canceled. The reply address rides in the message kind as "cmd@addr"
 // (the client listens on an ephemeral port).
-func (d *Daemon) Serve(ctx context.Context, node *transport.TCPNode) error {
+//
+// Commands are pipelined: the receive loop dispatches each envelope to a
+// bounded worker pool (Config.Workers), so slow authorizations — RSA
+// verification, co-signer fan-out — overlap instead of serializing behind
+// one another; the daemon_inflight gauge reports the pool's occupancy.
+// Replies funnel through a single sender goroutine (the transport writes
+// frames outside its lock, so concurrent sends to one peer could
+// interleave) and are routed per sender; replies to different clients may
+// reorder relative to arrival, which the request/reply shape tolerates.
+// On context cancel or listener close the receive loop stops, in-flight
+// commands drain, and queued replies are flushed before Serve returns.
+//
+// Serve returns the context's error when canceled and nil on a clean
+// listener close; any other transport failure is counted in
+// daemon_serve_errors_total and returned.
+func (d *Daemon) Serve(ctx context.Context, node commandNode) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tasks := make(chan transport.Envelope)
+	replies := make(chan outbound, d.workers)
+
+	var senderWG sync.WaitGroup
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		for out := range replies {
+			if out.addr != "" {
+				node.AddPeer(out.to, out.addr)
+			}
+			if err := node.Send(out.to, "reply", out.body); err != nil {
+				log.Printf("daemon: reply to %s: %v", out.to, err)
+			}
+		}
+	}()
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < d.workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for env := range tasks {
+				d.serveOne(ctx, env, replies)
+			}
+		}()
+	}
+
+	var serveErr error
 	for {
 		env, err := node.RecvContext(ctx)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err // shutdown requested
+			switch {
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				serveErr = err // shutdown requested
+			case errors.Is(err, transport.ErrClosed):
+				serveErr = nil // clean close
+			default:
+				d.reg.Counter(MetricServeErrors).Inc()
+				serveErr = err // transport failure
 			}
-			return nil // listener closed
+			break
 		}
-		var cmd Command
-		reply := Reply{}
-		if err := json.Unmarshal(env.Payload, &cmd); err != nil {
-			reply.Detail = "bad command: " + err.Error()
-		} else {
-			reply = d.Handle(ctx, cmd)
-		}
-		body, err := json.Marshal(reply)
-		if err != nil {
-			log.Printf("daemon: encode reply: %v", err)
-			continue
-		}
-		if addr := returnAddr(env.Kind); addr != "" {
-			node.AddPeer(env.From, addr)
-		}
-		if err := node.Send(env.From, "reply", body); err != nil {
-			log.Printf("daemon: reply to %s: %v", env.From, err)
-		}
+		tasks <- env
 	}
+	close(tasks)
+	workerWG.Wait() // drain in-flight commands
+	close(replies)
+	senderWG.Wait() // flush queued replies
+	return serveErr
+}
+
+// serveOne decodes, handles and answers a single command under its own
+// request context.
+func (d *Daemon) serveOne(ctx context.Context, env transport.Envelope, replies chan<- outbound) {
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var cmd Command
+	reply := Reply{}
+	if err := json.Unmarshal(env.Payload, &cmd); err != nil {
+		reply.Detail = "bad command: " + err.Error()
+	} else {
+		reply = d.Handle(reqCtx, cmd)
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		log.Printf("daemon: encode reply: %v", err)
+		return
+	}
+	replies <- outbound{to: env.From, addr: returnAddr(env.Kind), body: body}
 }
 
 // returnAddr extracts the reply address from "cmd@addr".

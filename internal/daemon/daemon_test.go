@@ -3,7 +3,10 @@ package daemon
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -193,4 +196,243 @@ func TestDaemonStatsWithoutMetrics(t *testing.T) {
 	if r := d.Handle(context.Background(), Command{Cmd: "stats"}); r.OK {
 		t.Fatal("stats succeeded without a registry")
 	}
+}
+
+// fakeNode is an in-memory commandNode: a closable stream of envelopes in,
+// a record of replies out.
+type fakeNode struct {
+	envs    chan transport.Envelope
+	recvErr error // returned once the stream drains (nil → ErrClosed)
+
+	mu      sync.Mutex
+	replies map[string][]string // sender -> reply payloads
+	peers   map[string]string
+}
+
+func newFakeNode(recvErr error) *fakeNode {
+	return &fakeNode{
+		envs:    make(chan transport.Envelope, 64),
+		recvErr: recvErr,
+		replies: make(map[string][]string),
+		peers:   make(map[string]string),
+	}
+}
+
+func (f *fakeNode) RecvContext(ctx context.Context) (transport.Envelope, error) {
+	select {
+	case env, ok := <-f.envs:
+		if !ok {
+			if f.recvErr != nil {
+				return transport.Envelope{}, f.recvErr
+			}
+			return transport.Envelope{}, transport.ErrClosed
+		}
+		return env, nil
+	case <-ctx.Done():
+		return transport.Envelope{}, ctx.Err()
+	}
+}
+
+func (f *fakeNode) AddPeer(name, addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peers[name] = addr
+}
+
+func (f *fakeNode) Send(to, kind string, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.replies[to] = append(f.replies[to], string(payload))
+	return nil
+}
+
+// TestDaemonServeConcurrent drives Serve's worker pool: four read commands
+// from four clients are held in-flight simultaneously (observed via the
+// daemon_inflight gauge), then released; every client gets exactly one
+// successful reply routed back to it.
+func TestDaemonServeConcurrent(t *testing.T) {
+	const n = 4
+	reg := obs.NewRegistry()
+	d, err := New(Config{
+		Domains:        []string{"D1", "D2", "D3"},
+		Users:          []string{"alice", "bob", "carol"},
+		WriteThreshold: 2,
+		Metrics:        reg,
+		Workers:        n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrived := make(chan struct{}, n)
+	release := make(chan struct{})
+	d.handleStarted = func(Command) {
+		arrived <- struct{}{}
+		<-release
+	}
+
+	node := newFakeNode(nil)
+	body, err := json.Marshal(Command{Cmd: "read", Signers: []string{"carol"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		node.envs <- transport.Envelope{
+			From:    fmt.Sprintf("c%d", i),
+			Kind:    fmt.Sprintf("cmd@addr%d", i),
+			Payload: body,
+		}
+	}
+	close(node.envs)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- d.Serve(context.Background(), node) }()
+
+	for i := 0; i < n; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d commands in flight", i, n)
+		}
+	}
+	if got := reg.Gauge(MetricInflight).Value(); got != n {
+		t.Errorf("daemon_inflight = %d with %d commands held, want %d", got, n, n)
+	}
+	close(release)
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain and exit")
+	}
+	if got := reg.Gauge(MetricInflight).Value(); got != 0 {
+		t.Errorf("daemon_inflight = %d after drain, want 0", got)
+	}
+	for i := 0; i < n; i++ {
+		from := fmt.Sprintf("c%d", i)
+		rs := node.replies[from]
+		if len(rs) != 1 {
+			t.Fatalf("client %s got %d replies, want 1", from, len(rs))
+		}
+		var reply Reply
+		if err := json.Unmarshal([]byte(rs[0]), &reply); err != nil {
+			t.Fatal(err)
+		}
+		if !reply.OK {
+			t.Errorf("client %s reply: %+v", from, reply)
+		}
+		if node.peers[from] != fmt.Sprintf("addr%d", i) {
+			t.Errorf("client %s reply address = %q", from, node.peers[from])
+		}
+	}
+	if got := reg.Counter(MetricServeErrors).Value(); got != 0 {
+		t.Errorf("serve errors = %d on clean close, want 0", got)
+	}
+}
+
+// TestDaemonServeMixedDynamics runs request commands concurrently with a
+// join: the dynamics gate must keep the rekey atomic with respect to
+// in-flight reads, and every command still gets a reply.
+func TestDaemonServeMixedDynamics(t *testing.T) {
+	reg := obs.NewRegistry()
+	d, err := New(Config{
+		Domains:        []string{"D1", "D2", "D3"},
+		Users:          []string{"alice", "bob", "carol"},
+		WriteThreshold: 2,
+		Metrics:        reg,
+		Workers:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := newFakeNode(nil)
+	read, _ := json.Marshal(Command{Cmd: "read", Signers: []string{"carol"}})
+	join, _ := json.Marshal(Command{Cmd: "join", Domain: "D4"})
+	for i := 0; i < 8; i++ {
+		payload := read
+		if i == 3 {
+			payload = join
+		}
+		node.envs <- transport.Envelope{From: fmt.Sprintf("c%d", i), Payload: payload}
+	}
+	close(node.envs)
+	if err := d.Serve(context.Background(), node); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		from := fmt.Sprintf("c%d", i)
+		if len(node.replies[from]) != 1 {
+			t.Fatalf("client %s got %d replies, want 1", from, len(node.replies[from]))
+		}
+		var reply Reply
+		if err := json.Unmarshal([]byte(node.replies[from][0]), &reply); err != nil {
+			t.Fatal(err)
+		}
+		if !reply.OK {
+			t.Errorf("client %s reply: %+v", from, reply)
+		}
+	}
+}
+
+// TestDaemonServeErrorTaxonomy distinguishes Serve's exits: a transport
+// failure is counted and returned, a context cancel is returned uncounted,
+// a clean close returns nil.
+func TestDaemonServeErrorTaxonomy(t *testing.T) {
+	boom := errors.New("wire torn")
+
+	t.Run("transport failure", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		d := newDaemonWithRegistry(t, reg)
+		node := newFakeNode(boom)
+		close(node.envs)
+		if err := d.Serve(context.Background(), node); !errors.Is(err, boom) {
+			t.Fatalf("Serve = %v, want %v", err, boom)
+		}
+		if got := reg.Counter(MetricServeErrors).Value(); got != 1 {
+			t.Errorf("serve errors = %d, want 1", got)
+		}
+	})
+
+	t.Run("context cancel", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		d := newDaemonWithRegistry(t, reg)
+		node := newFakeNode(nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := d.Serve(ctx, node); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve = %v, want context.Canceled", err)
+		}
+		if got := reg.Counter(MetricServeErrors).Value(); got != 0 {
+			t.Errorf("serve errors = %d, want 0", got)
+		}
+	})
+
+	t.Run("clean close", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		d := newDaemonWithRegistry(t, reg)
+		node := newFakeNode(nil)
+		close(node.envs)
+		if err := d.Serve(context.Background(), node); err != nil {
+			t.Fatalf("Serve = %v, want nil", err)
+		}
+		if got := reg.Counter(MetricServeErrors).Value(); got != 0 {
+			t.Errorf("serve errors = %d, want 0", got)
+		}
+	})
+}
+
+func newDaemonWithRegistry(t *testing.T, reg *obs.Registry) *Daemon {
+	t.Helper()
+	d, err := New(Config{
+		Domains:        []string{"D1", "D2", "D3"},
+		Users:          []string{"alice", "bob", "carol"},
+		WriteThreshold: 2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }

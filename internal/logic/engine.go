@@ -45,7 +45,9 @@ func (e *Engine) Proof() *Proof { return e.proof }
 // original, which makes a sealed base engine shareable across concurrent
 // request evaluations — each request forks the base and derives into its
 // own scratch (the per-request counterpart of the Section 4.3 statement
-// lists).
+// lists). Forking a sealed engine is O(1) regardless of how many beliefs
+// and proof steps the base holds: the fork shares the immutable base
+// layers and starts an empty overlay/suffix.
 func (e *Engine) Fork() *Engine {
 	return &Engine{
 		owner: e.owner,
@@ -53,6 +55,25 @@ func (e *Engine) Fork() *Engine {
 		store: e.store.Clone(),
 		proof: e.proof.Clone(),
 	}
+}
+
+// Seal freezes the engine's current beliefs and proof into immutable base
+// layers shared by every subsequent Fork, making Fork O(1). The paper's
+// reading (and NAL's): the principal's base theory is monotone — per-query
+// reasoning extends it but never mutates it — so a sealed base is safe to
+// share across concurrent request evaluations. The engine itself remains
+// usable; later derivations start a fresh overlay and should be sealed
+// again before the engine is shared.
+func (e *Engine) Seal() *Engine {
+	e.store.Seal()
+	e.proof.Seal()
+	return e
+}
+
+// Sealed reports whether the engine's store and proof are fully sealed
+// (Fork is O(1)).
+func (e *Engine) Sealed() bool {
+	return e.store.Sealed() && e.proof.Sealed()
 }
 
 // Replay installs a belief previously derived from a verified certificate

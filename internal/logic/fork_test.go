@@ -1,0 +1,202 @@
+package logic
+
+// Fork-isolation regression tests for the layered (sealed base + overlay)
+// store and proof. Run with -race: concurrent forks of one sealed base must
+// derive into disjoint overlays, with no write — belief, membership
+// revocation or key revocation — visible through the base or a sibling fork.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jointadmin/internal/clock"
+)
+
+// sealedBaseStore builds a store with n base beliefs plus a membership and
+// a bound key, then seals it.
+func sealedBaseStore(t *testing.T, n int) (*BeliefStore, MemberOf, KeySpeaksFor) {
+	t.Helper()
+	s := NewBeliefStore()
+	for i := 0; i < n; i++ {
+		s.Add(Prop{Name: fmt.Sprintf("base-%d", i)}, 1, i+1)
+	}
+	mem := MemberOf{Who: P("alice"), T: During(0, 1000), G: G("G_write")}
+	key := KeySpeaksFor{K: "K_alice", T: During(0, 1000), Who: P("alice")}
+	s.Add(mem, 1, n+1)
+	s.Add(key, 1, n+2)
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("store not sealed after Seal")
+	}
+	return s, mem, key
+}
+
+func TestForkIsolationConcurrent(t *testing.T) {
+	const (
+		baseN = 64
+		forks = 16
+		adds  = 32
+	)
+	base, mem, key := sealedBaseStore(t, baseN)
+
+	clones := make([]*BeliefStore, forks)
+	var wg sync.WaitGroup
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := base.Clone()
+			clones[i] = c
+			for j := 0; j < adds; j++ {
+				c.Add(Prop{Name: fmt.Sprintf("fork-%d-%d", i, j)}, 10, 1000+i*adds+j)
+			}
+			// Each fork revokes the shared membership and key locally.
+			c.Revoke(mem.Who, mem.G, 50, 2000+i)
+			c.RevokeKey(key.K, 50)
+			// Base contents must remain readable through the fork.
+			if _, ok := c.Holds(Prop{Name: "base-0"}); !ok {
+				t.Errorf("fork %d lost base belief", i)
+			}
+			if c.Len() != baseN+2+adds {
+				t.Errorf("fork %d: Len = %d, want %d", i, c.Len(), baseN+2+adds)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The sealed base saw none of it.
+	if got := base.Len(); got != baseN+2 {
+		t.Errorf("base Len = %d after forks, want %d", got, baseN+2)
+	}
+	if base.Revoked(mem.Who, mem.G, 100) {
+		t.Error("fork revocation leaked into base")
+	}
+	if base.KeyRevoked(key.K, 100) {
+		t.Error("fork key revocation leaked into base")
+	}
+	if _, ok := base.KeyFor("alice", 100); !ok {
+		t.Error("base lost key belief")
+	}
+	if _, ok := base.MembershipFor(G("G_write"), 100); !ok {
+		t.Error("base lost membership belief")
+	}
+	if !base.Sealed() {
+		t.Error("base no longer sealed")
+	}
+
+	// No fork sees a sibling's overlay.
+	for i, c := range clones {
+		if !c.Revoked(mem.Who, mem.G, 100) {
+			t.Errorf("fork %d lost its own revocation", i)
+		}
+		if !c.KeyRevoked(key.K, 100) {
+			t.Errorf("fork %d lost its own key revocation", i)
+		}
+		sib := (i + 1) % forks
+		if _, ok := c.Holds(Prop{Name: fmt.Sprintf("fork-%d-0", sib)}); ok {
+			t.Errorf("fork %d sees fork %d's belief", i, sib)
+		}
+	}
+}
+
+// TestForkIsolationEngine exercises the same property one level up:
+// concurrent Forks of a sealed engine derive independently, and premise
+// references into the shared proof prefix stay resolvable from each fork.
+func TestForkIsolationEngine(t *testing.T) {
+	eng := NewEngine("P", clock.New(1))
+	baseStep := eng.Assume(Prop{Name: "anchor"}, "initial belief")
+	for i := 0; i < 20; i++ {
+		eng.Assume(Prop{Name: fmt.Sprintf("seed-%d", i)}, "")
+	}
+	eng.Seal()
+	if !eng.Sealed() {
+		t.Fatal("engine not sealed after Seal")
+	}
+	baseLen := eng.Proof().Len()
+
+	const forks = 8
+	var wg sync.WaitGroup
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := eng.Fork()
+			id := f.Proof().Append("test", []int{baseStep},
+				Prop{Name: fmt.Sprintf("derived-%d", i)}, f.Clock().Now(), "")
+			if id != baseLen+1 {
+				t.Errorf("fork %d: first suffix step id = %d, want %d", i, id, baseLen+1)
+			}
+			// The base premise must resolve through the shared prefix.
+			st, ok := f.Proof().Step(baseStep)
+			if !ok || !FormulaEqual(st.Conclusion, Prop{Name: "anchor"}) {
+				t.Errorf("fork %d: base step %d unresolved", i, baseStep)
+			}
+			if err := f.Proof().Check(); err != nil {
+				t.Errorf("fork %d: proof check: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := eng.Proof().Len(); got != baseLen {
+		t.Errorf("base proof grew to %d steps, want %d", got, baseLen)
+	}
+	if !eng.Sealed() {
+		t.Error("base engine no longer sealed")
+	}
+}
+
+// TestSealAfterWriteResealing: writing to a sealed store starts a new
+// overlay (Sealed reports false) and a second Seal folds it back in without
+// disturbing earlier layers.
+func TestSealAfterWriteResealing(t *testing.T) {
+	s, mem, _ := sealedBaseStore(t, 4)
+	s.Add(Prop{Name: "late"}, 5, 99)
+	if s.Sealed() {
+		t.Fatal("store sealed with non-empty overlay")
+	}
+	fork := s.Clone()
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("second Seal left overlay")
+	}
+	if _, ok := s.Holds(Prop{Name: "late"}); !ok {
+		t.Error("resealed store lost overlay belief")
+	}
+	if _, ok := fork.Holds(Prop{Name: "late"}); !ok {
+		t.Error("fork taken before reseal lost overlay copy")
+	}
+	if _, ok := s.MembershipFor(mem.G, 100); !ok {
+		t.Error("resealed store lost base membership")
+	}
+	if got := s.Len(); got != 4+2+1 {
+		t.Errorf("Len = %d, want 7", got)
+	}
+}
+
+// TestSealFlattensDeepChains: repeated mutate/seal cycles must not grow the
+// layer chain without bound — reads stay correct across the flatten.
+func TestSealFlattensDeepChains(t *testing.T) {
+	s := NewBeliefStore()
+	const rounds = 3 * maxLayerDepth
+	for i := 0; i < rounds; i++ {
+		s.Add(Prop{Name: fmt.Sprintf("r%d", i)}, clock.Time(i), i+1)
+		s.Revoke(P(fmt.Sprintf("u%d", i)), G("G"), clock.Time(i), i+1)
+		s.Seal()
+	}
+	if d := s.base.depth; d > maxLayerDepth {
+		t.Errorf("layer depth = %d, want <= %d", d, maxLayerDepth)
+	}
+	for i := 0; i < rounds; i++ {
+		if _, ok := s.Holds(Prop{Name: fmt.Sprintf("r%d", i)}); !ok {
+			t.Errorf("belief r%d lost across flatten", i)
+		}
+		if !s.Revoked(P(fmt.Sprintf("u%d", i)), G("G"), clock.Time(rounds)) {
+			t.Errorf("revocation u%d lost across flatten", i)
+		}
+	}
+	if got := len(s.Revocations()); got != rounds {
+		t.Errorf("Revocations = %d, want %d", got, rounds)
+	}
+}

@@ -1,0 +1,76 @@
+// Canonical formula keys. Every Formula renders injectively via String,
+// which doubles as the structural-equality key and the belief-store index.
+// Building that string is the single hottest allocation in a derivation —
+// every Add and Holds needs it — so Key memoizes it for comparable formula
+// values (the base-theory shapes that recur across requests: key beliefs,
+// memberships, jurisdiction schemas). Values that are not comparable —
+// those embedding a compound principal's member slice at some depth —
+// fall back to rendering; they are exactly the ones whose keys are
+// computed once at Add time and then carried by the sealed base layers.
+
+package logic
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// keyMemoCap bounds the memo so a flood of distinct formulas (per-request
+// says-utterances carry fresh timestamps) cannot grow it without bound;
+// when full it is discarded wholesale and rebuilt from the working set.
+const keyMemoCap = 1 << 14
+
+var keyMemo = newFormulaMemo()
+
+// formulaMemo is a capped concurrent map from comparable Formula values to
+// their canonical strings. Exceeding the cap resets the map: stale cheap
+// entries are cheaper to recompute than to track with an eviction policy.
+type formulaMemo struct {
+	m atomic.Pointer[sync.Map]
+	n atomic.Int64
+}
+
+func newFormulaMemo() *formulaMemo {
+	fm := &formulaMemo{}
+	fm.m.Store(&sync.Map{})
+	return fm
+}
+
+func (fm *formulaMemo) get(f Formula) (string, bool) {
+	if v, ok := fm.m.Load().Load(f); ok {
+		return v.(string), true
+	}
+	return "", false
+}
+
+func (fm *formulaMemo) put(f Formula, s string) {
+	if fm.n.Add(1) > keyMemoCap {
+		fm.m.Store(&sync.Map{})
+		fm.n.Store(0)
+		return
+	}
+	fm.m.Load().Store(f, s)
+}
+
+// Key returns the canonical index key of f: its injective String form,
+// memoized for comparable values. Callers on store hot paths use Key so
+// the rendering cost is paid at most once per recurring formula — and,
+// crucially, outside any store lock.
+func Key(f Formula) string {
+	if f == nil {
+		return ""
+	}
+	// reflect.Value.Comparable walks the dynamic value, so formulas whose
+	// Subject fields hold compound principals (member slices) are detected
+	// without a panic-recover dance.
+	if !reflect.ValueOf(f).Comparable() {
+		return f.String()
+	}
+	if s, ok := keyMemo.get(f); ok {
+		return s
+	}
+	s := f.String()
+	keyMemo.put(f, s)
+	return s
+}

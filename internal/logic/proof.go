@@ -34,12 +34,43 @@ func (s Step) String() string {
 	return b.String()
 }
 
+// proofSeg is one immutable segment of a sealed proof prefix. Segments are
+// never modified after publication and are shared by every proof cloned
+// from the same sealed base.
+type proofSeg struct {
+	parent *proofSeg
+	steps  []Step
+	start  int // global 1-based ID of steps[0]
+	depth  int // chain length including this segment
+}
+
+// chain returns the segments oldest first.
+func (s *proofSeg) chain() []*proofSeg {
+	if s == nil {
+		return nil
+	}
+	out := make([]*proofSeg, s.depth)
+	for i := s.depth - 1; i >= 0; i-- {
+		out[i] = s
+		s = s.parent
+	}
+	return out
+}
+
 // Proof is an append-only derivation log. The engine threads every rule
 // application through a Proof so that authorization decisions carry a full
 // machine-checkable trace (the audit requirement of Section 2).
+//
+// Like the belief store, the proof is layered: an immutable shared prefix
+// (built by Seal) plus a per-request suffix. Suffix step IDs continue past
+// the prefix, so premise references into the shared base keep working
+// unchanged and Clone of a sealed proof is O(1) regardless of prefix
+// length.
 type Proof struct {
-	owner string
-	steps []Step
+	owner   string
+	base    *proofSeg // immutable shared prefix; nil when none
+	baseLen int       // total steps in base segments
+	steps   []Step    // mutable suffix
 }
 
 // NewProof returns an empty proof owned by (derived at) the named
@@ -54,7 +85,7 @@ func (p *Proof) Owner() string { return p.owner }
 // Append records a step and returns its ID (1-based, matching the paper's
 // numbered statements).
 func (p *Proof) Append(rule string, premises []int, conclusion Formula, at clock.Time, note string) int {
-	id := len(p.steps) + 1
+	id := p.baseLen + len(p.steps) + 1
 	ps := make([]int, len(premises))
 	copy(ps, premises)
 	p.steps = append(p.steps, Step{
@@ -68,38 +99,96 @@ func (p *Proof) Append(rule string, premises []int, conclusion Formula, at clock
 	return id
 }
 
-// Clone returns an independent copy of the proof: appends to either copy
-// never affect the other. Steps themselves are immutable values, so the
-// copy is shallow per step.
-func (p *Proof) Clone() *Proof {
-	steps := make([]Step, len(p.steps))
-	copy(steps, p.steps)
-	return &Proof{owner: p.owner, steps: steps}
+// Seal freezes the current suffix into the immutable shared prefix. After
+// Seal, Clone is O(1); the proof itself remains appendable — later steps
+// start a fresh suffix. Chains deeper than maxLayerDepth are flattened so
+// lookups never walk more than a constant number of segments.
+func (p *Proof) Seal() {
+	if len(p.steps) == 0 {
+		if p.base != nil && p.base.depth > maxLayerDepth {
+			p.base = flattenProof(p.base, p.baseLen)
+		}
+		return
+	}
+	seg := &proofSeg{parent: p.base, steps: p.steps, start: p.baseLen + 1, depth: 1}
+	if p.base != nil {
+		seg.depth = p.base.depth + 1
+	}
+	p.baseLen += len(p.steps)
+	if seg.depth > maxLayerDepth {
+		seg = flattenProof(seg, p.baseLen)
+	}
+	p.base = seg
+	p.steps = nil
 }
 
-// Steps returns a copy of the proof lines.
+// flattenProof collapses a segment chain of total length n into one
+// segment.
+func flattenProof(seg *proofSeg, n int) *proofSeg {
+	steps := make([]Step, 0, n)
+	for _, s := range seg.chain() {
+		steps = append(steps, s.steps...)
+	}
+	return &proofSeg{steps: steps, start: 1, depth: 1}
+}
+
+// Sealed reports whether every step lives in the immutable prefix (so
+// Clone is O(1)).
+func (p *Proof) Sealed() bool { return len(p.steps) == 0 }
+
+// Clone returns an independent copy of the proof: appends to either copy
+// never affect the other. The sealed prefix is shared, so cloning a sealed
+// proof is O(1); only the suffix is copied.
+func (p *Proof) Clone() *Proof {
+	c := &Proof{owner: p.owner, base: p.base, baseLen: p.baseLen}
+	if len(p.steps) > 0 {
+		c.steps = make([]Step, len(p.steps))
+		copy(c.steps, p.steps)
+	}
+	return c
+}
+
+// Steps returns a copy of the proof lines, in ID order.
 func (p *Proof) Steps() []Step {
-	out := make([]Step, len(p.steps))
-	copy(out, p.steps)
+	out := make([]Step, 0, p.baseLen+len(p.steps))
+	for _, s := range p.base.chain() {
+		out = append(out, s.steps...)
+	}
+	out = append(out, p.steps...)
 	return out
 }
 
 // Step returns the step with the given ID and whether it exists.
 func (p *Proof) Step(id int) (Step, bool) {
-	if id < 1 || id > len(p.steps) {
+	if id < 1 || id > p.baseLen+len(p.steps) {
 		return Step{}, false
 	}
-	return p.steps[id-1], true
+	if id > p.baseLen {
+		return p.steps[id-p.baseLen-1], true
+	}
+	for s := p.base; s != nil; s = s.parent {
+		if id >= s.start {
+			return s.steps[id-s.start], true
+		}
+	}
+	return Step{}, false
 }
 
 // Len returns the number of steps.
-func (p *Proof) Len() int { return len(p.steps) }
+func (p *Proof) Len() int { return p.baseLen + len(p.steps) }
 
 // String renders the whole derivation, each conclusion implicitly wrapped
 // in "owner believes" as in the paper's statement lists.
 func (p *Proof) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Derivation at %s:\n", p.owner)
+	for _, seg := range p.base.chain() {
+		for _, s := range seg.steps {
+			b.WriteString("  ")
+			b.WriteString(s.String())
+			b.WriteByte('\n')
+		}
+	}
 	for _, s := range p.steps {
 		b.WriteString("  ")
 		b.WriteString(s.String())
@@ -111,7 +200,7 @@ func (p *Proof) String() string {
 // Check verifies the internal consistency of the proof: premise IDs must
 // refer to strictly earlier steps and every step must have a conclusion.
 func (p *Proof) Check() error {
-	for _, s := range p.steps {
+	check := func(s Step) error {
 		if s.Conclusion == nil {
 			return fmt.Errorf("step %d: nil conclusion", s.ID)
 		}
@@ -119,6 +208,19 @@ func (p *Proof) Check() error {
 			if pr <= 0 || pr >= s.ID {
 				return fmt.Errorf("step %d: premise %d is not an earlier step", s.ID, pr)
 			}
+		}
+		return nil
+	}
+	for _, seg := range p.base.chain() {
+		for _, s := range seg.steps {
+			if err := check(s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range p.steps {
+		if err := check(s); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -24,23 +24,134 @@ type Revocation struct {
 	Step        int
 }
 
-// BeliefStore is the set of formulas a principal currently believes,
-// indexed by canonical form. It is safe for concurrent use (a coalition
-// server verifies requests from several clients at once).
-type BeliefStore struct {
-	mu          sync.RWMutex
+// maxLayerDepth bounds the sealed-layer chain. Every Seal pushes the
+// current overlay as one more immutable layer; once the chain is this
+// deep, the next Seal flattens everything into a single layer so reads
+// never walk more than maxLayerDepth segments. Belief mutations
+// (revocations, group links) are rare next to request evaluations, so the
+// amortized flatten cost is negligible.
+const maxLayerDepth = 8
+
+// storeLayer is one immutable segment of a sealed belief base. Layers are
+// never modified after publication, so they are shared — without copying
+// or locking — by every store forked from the same sealed base.
+type storeLayer struct {
+	parent      *storeLayer
 	entries     []Entry
-	index       map[string]int // canonical form -> entries position
+	index       map[string]int // canonical key -> position in entries
 	revoked     []Revocation
 	revokedKeys map[KeyID]clock.Time // key id -> earliest effective time
+	depth       int                  // chain length including this layer
+	size        int                  // cumulative entry count including parents
+}
+
+// chain returns the layers from oldest to newest (insertion order).
+func (l *storeLayer) chain() []*storeLayer {
+	if l == nil {
+		return nil
+	}
+	out := make([]*storeLayer, l.depth)
+	for i := l.depth - 1; i >= 0; i-- {
+		out[i] = l
+		l = l.parent
+	}
+	return out
+}
+
+// BeliefStore is the set of formulas a principal currently believes,
+// indexed by canonical form. It is layered: an immutable, structurally
+// shared base (built by Seal) plus a small mutable overlay holding
+// everything added since. Reads consult the overlay first and fall
+// through to the base; writes go only to the overlay. Cloning a sealed
+// store (empty overlay) is O(1) regardless of base size — the layered
+// reading of NAL-style monotone base theories: per-query reasoning
+// extends the principal's beliefs but never mutates them.
+//
+// The store is safe for concurrent use (a coalition server verifies
+// requests from several clients at once); base layers are immutable and
+// read without locking, the overlay is guarded by mu.
+type BeliefStore struct {
+	mu   sync.RWMutex
+	base *storeLayer // immutable; nil for a fresh store
+
+	// Overlay state. Maps are allocated lazily so a sealed fork costs one
+	// struct allocation and nothing else.
+	entries     []Entry
+	index       map[string]int
+	revoked     []Revocation
+	revokedKeys map[KeyID]clock.Time
 }
 
 // NewBeliefStore returns an empty store.
 func NewBeliefStore() *BeliefStore {
-	return &BeliefStore{
-		index:       make(map[string]int),
-		revokedKeys: make(map[KeyID]clock.Time),
+	return &BeliefStore{}
+}
+
+// Seal freezes the store's current contents into the immutable base:
+// the overlay is pushed as a new shared layer (flattening the chain when
+// it grows past maxLayerDepth) and cleared. After Seal, Clone is O(1);
+// the store itself remains writable — later writes start a fresh overlay
+// and simply make the next Seal or Clone proportionally more expensive.
+func (b *BeliefStore) Seal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) == 0 && len(b.revoked) == 0 && len(b.revokedKeys) == 0 {
+		// Nothing new; just flatten an over-deep chain.
+		if b.base != nil && b.base.depth > maxLayerDepth {
+			b.base = flatten(b.base)
+		}
+		return
 	}
+	layer := &storeLayer{
+		parent:      b.base,
+		entries:     b.entries,
+		index:       b.index,
+		revoked:     b.revoked,
+		revokedKeys: b.revokedKeys,
+		depth:       1,
+		size:        len(b.entries),
+	}
+	if b.base != nil {
+		layer.depth = b.base.depth + 1
+		layer.size += b.base.size
+	}
+	if layer.depth > maxLayerDepth {
+		layer = flatten(layer)
+	}
+	b.base = layer
+	b.entries, b.index, b.revoked, b.revokedKeys = nil, nil, nil, nil
+}
+
+// flatten collapses a layer chain into a single layer.
+func flatten(l *storeLayer) *storeLayer {
+	out := &storeLayer{
+		entries:     make([]Entry, 0, l.size),
+		index:       make(map[string]int, l.size),
+		revokedKeys: make(map[KeyID]clock.Time),
+		depth:       1,
+		size:        l.size,
+	}
+	for _, seg := range l.chain() {
+		for _, e := range seg.entries {
+			out.index[Key(e.F)] = len(out.entries)
+			out.entries = append(out.entries, e)
+		}
+		out.revoked = append(out.revoked, seg.revoked...)
+		for k, t := range seg.revokedKeys {
+			if old, ok := out.revokedKeys[k]; !ok || t < old {
+				out.revokedKeys[k] = t
+			}
+		}
+	}
+	return out
+}
+
+// Sealed reports whether every belief lives in the immutable base — i.e.
+// the overlay is empty, so Clone is O(1).
+func (b *BeliefStore) Sealed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries) == 0 && len(b.revoked) == 0 && len(b.revokedKeys) == 0
 }
 
 // RevokeKey records the negative belief ¬(k ⇒ P) effective at t: identity
@@ -49,6 +160,9 @@ func NewBeliefStore() *BeliefStore {
 func (b *BeliefStore) RevokeKey(k KeyID, t clock.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.revokedKeys == nil {
+		b.revokedKeys = make(map[KeyID]clock.Time)
+	}
 	if old, ok := b.revokedKeys[k]; !ok || t < old {
 		b.revokedKeys[k] = t
 	}
@@ -58,44 +172,78 @@ func (b *BeliefStore) RevokeKey(k KeyID, t clock.Time) {
 func (b *BeliefStore) KeyRevoked(k KeyID, t clock.Time) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	at, ok := b.revokedKeys[k]
-	return ok && t >= at
+	return b.keyRevokedLocked(k, t)
+}
+
+func (b *BeliefStore) keyRevokedLocked(k KeyID, t clock.Time) bool {
+	if at, ok := b.revokedKeys[k]; ok && t >= at {
+		return true
+	}
+	for l := b.base; l != nil; l = l.parent {
+		if at, ok := l.revokedKeys[k]; ok && t >= at {
+			return true
+		}
+	}
+	return false
 }
 
 // Clone returns an independent copy of the store: adds and revocations on
-// either copy never affect the other. Formulas are immutable values, so
-// entries are copied shallowly.
+// either copy never affect the other. The immutable base is shared, so
+// cloning a sealed store is O(1); only the overlay is copied.
 func (b *BeliefStore) Clone() *BeliefStore {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	c := &BeliefStore{
-		entries:     make([]Entry, len(b.entries)),
-		index:       make(map[string]int, len(b.index)),
-		revoked:     make([]Revocation, len(b.revoked)),
-		revokedKeys: make(map[KeyID]clock.Time, len(b.revokedKeys)),
+	c := &BeliefStore{base: b.base}
+	if len(b.entries) > 0 {
+		c.entries = make([]Entry, len(b.entries))
+		copy(c.entries, b.entries)
+		c.index = make(map[string]int, len(b.index))
+		for k, v := range b.index {
+			c.index[k] = v
+		}
 	}
-	copy(c.entries, b.entries)
-	for k, v := range b.index {
-		c.index[k] = v
+	if len(b.revoked) > 0 {
+		c.revoked = make([]Revocation, len(b.revoked))
+		copy(c.revoked, b.revoked)
 	}
-	copy(c.revoked, b.revoked)
-	for k, v := range b.revokedKeys {
-		c.revokedKeys[k] = v
+	if len(b.revokedKeys) > 0 {
+		c.revokedKeys = make(map[KeyID]clock.Time, len(b.revokedKeys))
+		for k, v := range b.revokedKeys {
+			c.revokedKeys[k] = v
+		}
 	}
 	return c
 }
 
+// lookupLocked finds the entry for a canonical key in the overlay or any
+// base layer.
+func (b *BeliefStore) lookupLocked(key string) (Entry, bool) {
+	if pos, ok := b.index[key]; ok {
+		return b.entries[pos], true
+	}
+	for l := b.base; l != nil; l = l.parent {
+		if pos, ok := l.index[key]; ok {
+			return l.entries[pos], true
+		}
+	}
+	return Entry{}, false
+}
+
 // Add records the belief f established at time at by proof step step. If an
 // identical formula is already held, the earlier entry is kept and its
-// position returned.
+// position returned. The canonical key is computed before the lock is
+// taken, so formula rendering never extends the critical section.
 func (b *BeliefStore) Add(f Formula, at clock.Time, step int) Entry {
+	key := Key(f)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	key := f.String()
-	if pos, ok := b.index[key]; ok {
-		return b.entries[pos]
+	if e, ok := b.lookupLocked(key); ok {
+		return e
 	}
 	e := Entry{F: f, At: at, Step: step}
+	if b.index == nil {
+		b.index = make(map[string]int)
+	}
 	b.index[key] = len(b.entries)
 	b.entries = append(b.entries, e)
 	return e
@@ -104,28 +252,53 @@ func (b *BeliefStore) Add(f Formula, at clock.Time, step int) Entry {
 // Holds reports whether the exact formula is believed, and returns its
 // entry.
 func (b *BeliefStore) Holds(f Formula) (Entry, bool) {
+	key := Key(f)
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	pos, ok := b.index[f.String()]
-	if !ok {
-		return Entry{}, false
-	}
-	return b.entries[pos], true
+	return b.lookupLocked(key)
 }
 
 // Len returns the number of distinct beliefs.
 func (b *BeliefStore) Len() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return len(b.entries)
+	n := len(b.entries)
+	if b.base != nil {
+		n += b.base.size
+	}
+	return n
+}
+
+// forEachLocked visits every entry in insertion order (base layers oldest
+// first, then the overlay) until fn returns false.
+func (b *BeliefStore) forEachLocked(fn func(Entry) bool) {
+	for _, l := range b.base.chain() {
+		for _, e := range l.entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+	for _, e := range b.entries {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 // All returns a copy of every belief entry, in insertion order.
 func (b *BeliefStore) All() []Entry {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	out := make([]Entry, len(b.entries))
-	copy(out, b.entries)
+	n := len(b.entries)
+	if b.base != nil {
+		n += b.base.size
+	}
+	out := make([]Entry, 0, n)
+	b.forEachLocked(func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
 	return out
 }
 
@@ -136,29 +309,36 @@ func (b *BeliefStore) All() []Entry {
 func (b *BeliefStore) KeyFor(who string, t clock.Time) (KeySpeaksFor, bool) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, e := range b.entries {
+	var (
+		out   KeySpeaksFor
+		found bool
+	)
+	b.forEachLocked(func(e Entry) bool {
 		ks, ok := e.F.(KeySpeaksFor)
 		if !ok {
-			continue
+			return true
 		}
 		if !ks.T.Covers(t) {
-			continue
+			return true
 		}
-		if at, revoked := b.revokedKeys[ks.K]; revoked && t >= at {
-			continue
+		if b.keyRevokedLocked(ks.K, t) {
+			return true
 		}
 		switch s := ks.Who.(type) {
 		case Principal:
 			if s.Name == who {
-				return ks, true
+				out, found = ks, true
+				return false
 			}
 		case CompoundPrincipal:
 			if s.String() == who {
-				return ks, true
+				out, found = ks, true
+				return false
 			}
 		}
-	}
-	return KeySpeaksFor{}, false
+		return true
+	})
+	return out, found
 }
 
 // MembershipFor returns a believed MemberOf formula for group g whose
@@ -167,20 +347,25 @@ func (b *BeliefStore) KeyFor(who string, t clock.Time) (KeySpeaksFor, bool) {
 func (b *BeliefStore) MembershipFor(g Group, t clock.Time) (MemberOf, bool) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, e := range b.entries {
+	var (
+		out   MemberOf
+		found bool
+	)
+	b.forEachLocked(func(e Entry) bool {
 		m, ok := e.F.(MemberOf)
 		if !ok || m.G != g {
-			continue
+			return true
 		}
 		if !m.T.Covers(t) {
-			continue
+			return true
 		}
 		if b.revokedLocked(m.Who, g, t) {
-			continue
+			return true
 		}
-		return m, true
-	}
-	return MemberOf{}, false
+		out, found = m, true
+		return false
+	})
+	return out, found
 }
 
 // GroupLinksFrom returns the supergroups that sub speaks for at time t
@@ -189,16 +374,17 @@ func (b *BeliefStore) GroupLinksFrom(sub Group, t clock.Time) []Group {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Group
-	for _, e := range b.entries {
+	b.forEachLocked(func(e Entry) bool {
 		l, ok := e.F.(GroupSpeaksFor)
 		if !ok || l.Sub != sub {
-			continue
+			return true
 		}
 		if !l.T.Covers(t) {
-			continue
+			return true
 		}
 		out = append(out, l.Sup)
-	}
+		return true
+	})
 	return out
 }
 
@@ -223,14 +409,15 @@ func (b *BeliefStore) Schemas(match func(Formula) bool) []Formula {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Formula
-	for _, e := range b.entries {
+	b.forEachLocked(func(e Entry) bool {
 		switch e.F.(type) {
 		case KeyJurisdiction, MembershipJurisdiction, SaysTimeJurisdiction:
 			if match == nil || match(e.F) {
 				out = append(out, e.F)
 			}
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -239,12 +426,18 @@ func (b *BeliefStore) Schemas(match func(Formula) bool) []Formula {
 func (b *BeliefStore) KeyJurisdictionFor(ca string) (KeyJurisdiction, bool) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, e := range b.entries {
+	var (
+		out   KeyJurisdiction
+		found bool
+	)
+	b.forEachLocked(func(e Entry) bool {
 		if kj, ok := e.F.(KeyJurisdiction); ok && kj.CA.Name == ca {
-			return kj, true
+			out, found = kj, true
+			return false
 		}
-	}
-	return KeyJurisdiction{}, false
+		return true
+	})
+	return out, found
 }
 
 // MembershipJurisdictionFor returns the membership-jurisdiction schema held
@@ -252,12 +445,18 @@ func (b *BeliefStore) KeyJurisdictionFor(ca string) (KeyJurisdiction, bool) {
 func (b *BeliefStore) MembershipJurisdictionFor(auth string) (MembershipJurisdiction, bool) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, e := range b.entries {
+	var (
+		out   MembershipJurisdiction
+		found bool
+	)
+	b.forEachLocked(func(e Entry) bool {
 		if mj, ok := e.F.(MembershipJurisdiction); ok && mj.AuthorityName == auth {
-			return mj, true
+			out, found = mj, true
+			return false
 		}
-	}
-	return MembershipJurisdiction{}, false
+		return true
+	})
+	return out, found
 }
 
 // SaysTimeJurisdictionFor returns the says-time-jurisdiction schema for the
@@ -265,12 +464,18 @@ func (b *BeliefStore) MembershipJurisdictionFor(auth string) (MembershipJurisdic
 func (b *BeliefStore) SaysTimeJurisdictionFor(auth string) (SaysTimeJurisdiction, bool) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, e := range b.entries {
+	var (
+		out   SaysTimeJurisdiction
+		found bool
+	)
+	b.forEachLocked(func(e Entry) bool {
 		if sj, ok := e.F.(SaysTimeJurisdiction); ok && sj.Authority.String() == auth {
-			return sj, true
+			out, found = sj, true
+			return false
 		}
-	}
-	return SaysTimeJurisdiction{}, false
+		return true
+	})
+	return out, found
 }
 
 // Revoke records the negative belief ¬(who ⇒ g) effective at t (with upper
@@ -291,23 +496,37 @@ func (b *BeliefStore) Revoked(who Subject, g Group, t clock.Time) bool {
 }
 
 func (b *BeliefStore) revokedLocked(who Subject, g Group, t clock.Time) bool {
-	for _, r := range b.revoked {
-		if r.G != g || t < r.EffectiveAt {
-			continue
+	match := func(rs []Revocation) bool {
+		for _, r := range rs {
+			if r.G != g || t < r.EffectiveAt {
+				continue
+			}
+			if subjectsAlias(r.Who, who) {
+				return true
+			}
 		}
-		if subjectsAlias(r.Who, who) {
+		return false
+	}
+	if match(b.revoked) {
+		return true
+	}
+	for l := b.base; l != nil; l = l.parent {
+		if match(l.revoked) {
 			return true
 		}
 	}
 	return false
 }
 
-// Revocations returns a copy of all recorded revocations.
+// Revocations returns a copy of all recorded revocations, oldest first.
 func (b *BeliefStore) Revocations() []Revocation {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	out := make([]Revocation, len(b.revoked))
-	copy(out, b.revoked)
+	var out []Revocation
+	for _, l := range b.base.chain() {
+		out = append(out, l.revoked...)
+	}
+	out = append(out, b.revoked...)
 	return out
 }
 

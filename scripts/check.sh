@@ -25,7 +25,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> bench smoke (go test -bench=Authorize -benchtime=1x)"
-go test -run '^$' -bench=Authorize -benchtime=1x .
+echo "==> bench smoke (go test -bench='Authorize|ForkScaling' -benchtime=1x)"
+go test -run '^$' -bench='Authorize|ForkScaling' -benchtime=1x .
 
 echo "OK"
