@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI gate (scripts/check.sh).
 
-.PHONY: check build test bench bench-authz bench-fork fmt
+.PHONY: check build test bench bench-authz bench-fork bench-wal fmt
 
 check:
 	sh scripts/check.sh
@@ -20,6 +20,10 @@ bench-authz:
 
 bench-fork:
 	go test -run '^$$' -bench=ForkScaling -benchmem -benchtime=10000x .
+
+# Regenerates BENCH_wal.json (scripts/bench_wal.sh).
+bench-wal:
+	sh scripts/bench_wal.sh
 
 fmt:
 	gofmt -w .

@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"jointadmin/internal/daemon"
 	"jointadmin/internal/obs"
@@ -36,8 +37,11 @@ func main() {
 	users := flag.String("users", "alice,bob,carol", "comma-separated demo users (assigned to domains round-robin)")
 	writeM := flag.Int("write-threshold", 2, "co-signers required for writes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log + snapshots; empty = in-memory only)")
+	walBatch := flag.Duration("wal-batch", 0, "WAL group-commit fsync window (0 = fsync every append)")
+	auditCap := flag.Int("audit-retention", 0, "cap on in-memory audit entries (0 = unbounded; evicted entries stay in the WAL)")
 	flag.Parse()
-	if err := run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM); err != nil {
+	if err := run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM, *dataDir, *walBatch, *auditCap); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -52,16 +56,23 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func run(listen, metricsAddr string, domains, users []string, writeM int) error {
+func run(listen, metricsAddr string, domains, users []string, writeM int, dataDir string, walBatch time.Duration, auditCap int) error {
 	reg := obs.NewRegistry()
 	d, err := daemon.New(daemon.Config{
 		Domains:        domains,
 		Users:          users,
 		WriteThreshold: writeM,
 		Metrics:        reg,
+		DataDir:        dataDir,
+		WALBatchWindow: walBatch,
+		AuditRetention: auditCap,
 	})
 	if err != nil {
 		return err
+	}
+	defer d.Close()
+	if dataDir != "" {
+		log.Printf("coalitiond durable state in %s (wal-batch=%s)", dataDir, walBatch)
 	}
 	node, err := transport.ListenTCP("coalitiond", listen)
 	if err != nil {

@@ -11,6 +11,13 @@
 // stats pretty-prints the daemon's metrics snapshot: command counters,
 // denial taxonomy, and per-step latency histograms (count / mean / p50 /
 // p99). See docs/OPERATIONS.md for the metric catalog.
+//
+// The wal subcommand inspects a coalitiond data directory offline
+// (record counts per type, last epoch, corruption check) without going
+// through the daemon — run it on the daemon's host:
+//
+//	go run ./cmd/policyctl wal -data-dir /var/lib/coalitiond
+//	go run ./cmd/policyctl wal -data-dir /var/lib/coalitiond -dump
 package main
 
 import (
@@ -45,6 +52,14 @@ type Reply struct {
 }
 
 func main() {
+	// The wal subcommand operates on files, not the daemon, so it takes
+	// its own flag set: `policyctl wal -data-dir DIR [-dump]`.
+	if len(os.Args) > 1 && os.Args[1] == "wal" {
+		if err := runWAL(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	server := flag.String("server", "127.0.0.1:7707", "coalitiond address")
 	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, stats, join, leave")
 	group := flag.String("group", "", "group name (defaults per command)")

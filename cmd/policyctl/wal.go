@@ -1,0 +1,40 @@
+// The `policyctl wal` subcommand: offline inspection of a coalitiond
+// data directory. It never writes — a torn tail is reported, not
+// truncated — so it is safe to run against a live daemon's directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jointadmin/internal/wal"
+)
+
+// runWAL inspects (and optionally dumps) a data directory.
+func runWAL(args []string) error {
+	fs := flag.NewFlagSet("policyctl wal", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "coalitiond data directory to inspect")
+	dump := fs.Bool("dump", false, "also print every record (seq, type, time, body)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		return fmt.Errorf("policyctl wal: -data-dir required")
+	}
+	recs, info, err := wal.Dump(*dataDir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(info)
+	if *dump {
+		for _, r := range recs {
+			fmt.Printf("seq %-6d %-20s at %-8s %s\n", r.Seq, r.Type, r.At, r.Body)
+		}
+	}
+	if !info.Healthy() {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -110,22 +110,77 @@ func (e Entry) TraceString() string {
 	return strings.Join(parts, "; ")
 }
 
-// Log is a thread-safe append-only audit log.
+// Log is a thread-safe append-only audit log. By default it grows
+// without bound; long-running daemons cap it with SetRetention and rely
+// on a durable sink (the write-ahead log) for the full history.
 type Log struct {
 	mu      sync.Mutex
+	seq     int
 	entries []Entry
+	// max caps len(entries); 0 is unbounded.
+	max int
+	// sink receives evicted entries (outside the lock).
+	sink func(Entry)
+	// evicted counts entries dropped from memory.
+	evicted int
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
+// SetRetention bounds the in-memory log to the newest max entries
+// (0 removes the bound). sink, when non-nil, receives each evicted entry
+// — typically a WAL append — and is called without the log's lock held.
+// If the log already exceeds the bound, the oldest entries are evicted
+// immediately.
+func (l *Log) SetRetention(max int, sink func(Entry)) {
+	l.mu.Lock()
+	l.max = max
+	l.sink = sink
+	dropped := l.evictLocked()
+	l.mu.Unlock()
+	if sink != nil {
+		for _, e := range dropped {
+			sink(e)
+		}
+	}
+}
+
+// evictLocked trims to the retention bound, returning what was dropped.
+func (l *Log) evictLocked() []Entry {
+	if l.max <= 0 || len(l.entries) <= l.max {
+		return nil
+	}
+	n := len(l.entries) - l.max
+	dropped := make([]Entry, n)
+	copy(dropped, l.entries[:n])
+	l.entries = append(l.entries[:0], l.entries[n:]...)
+	l.evicted += n
+	return dropped
+}
+
 // Record appends an entry, assigning its sequence number.
 func (l *Log) Record(e Entry) int {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	e.Seq = len(l.entries) + 1
+	l.seq++
+	e.Seq = l.seq
 	l.entries = append(l.entries, e)
+	dropped := l.evictLocked()
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		for _, d := range dropped {
+			sink(d)
+		}
+	}
 	return e.Seq
+}
+
+// Evicted returns how many entries retention has dropped from memory.
+func (l *Log) Evicted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }
 
 // Entries returns a copy of all entries, oldest first.

@@ -39,6 +39,7 @@ import (
 	"jointadmin/internal/obs"
 	"jointadmin/internal/pki"
 	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/wal"
 )
 
 // Sentinel errors.
@@ -161,6 +162,10 @@ type Server struct {
 	mu sync.Mutex
 	// state is the current immutable belief snapshot (snapshot.go).
 	state atomic.Pointer[state]
+	// journal, when set, durably records every belief mutation before it
+	// is acknowledged, plus audit entries (journal.go). Stored atomically
+	// because the lock-free Authorize path writes audit records.
+	journal atomic.Pointer[journalBox]
 }
 
 // NewServer configures a server with its trust anchors and object store.
@@ -257,18 +262,16 @@ func (s *Server) deny(tr *reqTrace, req *AccessRequest, group, reason string, pr
 		op = req.Requests[0].Op
 		object = req.Requests[0].Object
 	}
-	if s.log != nil {
-		trace := ""
-		if proof != nil {
-			trace = proof.String()
-		}
-		s.log.Record(audit.Entry{
-			At: s.clk.Now(), Outcome: audit.Denied, Server: s.name,
-			Requestor: requestor, Operation: string(op), Object: object,
-			Group: group, Reason: reason,
-			RequestID: tr.id, Spans: tr.spans, ProofTrace: trace,
-		})
+	trace := ""
+	if proof != nil {
+		trace = proof.String()
 	}
+	s.audit(audit.Entry{
+		At: s.clk.Now(), Outcome: audit.Denied, Server: s.name,
+		Requestor: requestor, Operation: string(op), Object: object,
+		Group: group, Reason: reason,
+		RequestID: tr.id, Spans: tr.spans, ProofTrace: trace,
+	})
 	return Decision{Allowed: false, Group: group, Reason: reason, DeniedStep: step, RequestID: tr.id, Proof: proof},
 		fmt.Errorf("%w: %s", ErrDenied, reason)
 }
@@ -422,17 +425,15 @@ func (s *Server) Authorize(ctx context.Context, req AccessRequest) (Decision, er
 
 	tr.endOK()
 	tr.finish(true, "")
-	if s.log != nil {
-		s.log.Record(audit.Entry{
-			At: now, Outcome: audit.Approved, Server: s.name,
-			Requestor: req.Requests[0].User, Operation: string(op),
-			Object: object, Group: group,
-			Reason:     gs.String(),
-			RequestID:  tr.id,
-			Spans:      tr.spans,
-			ProofTrace: eng.Proof().String(),
-		})
-	}
+	s.audit(audit.Entry{
+		At: now, Outcome: audit.Approved, Server: s.name,
+		Requestor: req.Requests[0].User, Operation: string(op),
+		Object: object, Group: group,
+		Reason:     gs.String(),
+		RequestID:  tr.id,
+		Spans:      tr.spans,
+		ProofTrace: eng.Proof().String(),
+	})
 	return Decision{Allowed: true, Group: group, Reason: gs.String(), RequestID: tr.id, Proof: eng.Proof(), Data: data}, nil
 }
 
@@ -713,22 +714,22 @@ func fold(b []byte) uint32 {
 // AA and records the derived "Sub ⇒ Sup" belief in a new snapshot; members
 // of Sub then pass Step 4 against ACL entries naming Sup.
 func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
-	return s.mutate(func(cur *state, eng *logic.Engine) error {
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		now := s.clk.Now()
 		if link.Cert.Issuer != cur.anchors.AAName {
-			return fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
+			return nil, fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
 		}
 		if err := pki.VerifyGroupLink(link, cur.anchors.AAKey, now); err != nil {
-			return fmt.Errorf("%w: %v", ErrDenied, err)
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
 		}
 		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
 		if !ok {
-			return fmt.Errorf("%w: no key belief for AA", ErrDenied)
+			return nil, fmt.Errorf("%w: no key belief for AA", ErrDenied)
 		}
 		if _, _, err := eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
-			return fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
+			return nil, fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
 		}
-		return nil
+		return certRecord(wal.TypeGroupLink, link, now)
 	})
 }
 
@@ -739,13 +740,13 @@ func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
 // snapshot swap discards every cached certificate verification.
 func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) (err error) {
 	defer func(start time.Time) { s.observeRevocation("identity", start, err) }(time.Now())
-	return s.mutate(func(cur *state, eng *logic.Engine) error {
+	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		caKey, ok := cur.anchors.CAKeys[rev.Cert.Issuer]
 		if !ok {
-			return fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
+			return nil, fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
 		}
 		if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
-			return fmt.Errorf("%w: %v", ErrDenied, err)
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
 		}
 		now := s.clk.Now()
 		neg := logic.Not{F: logic.KeySpeaksFor{
@@ -758,15 +759,17 @@ func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation
 				rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
 		eng.Store().Add(neg, now, step)
 		eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
-		if s.log != nil {
-			s.log.Record(audit.Entry{
-				At: now, Outcome: audit.RevocationRecorded, Server: s.name,
-				Requestor: rev.Cert.Issuer,
-				Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
-			})
-		}
-		return nil
+		return certRecord(wal.TypeIdentityRevocation, rev, now)
 	})
+	if err != nil {
+		return err
+	}
+	s.audit(audit.Entry{
+		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+		Requestor: rev.Cert.Issuer,
+		Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
+	})
+	return nil
 }
 
 // ProcessCRL verifies a signed revocation list and feeds every entry into
@@ -808,7 +811,8 @@ func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
 // snapshot.
 func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) (err error) {
 	defer func(start time.Time) { s.observeRevocation("membership", start, err) }(time.Now())
-	return s.mutate(func(cur *state, eng *logic.Engine) error {
+	var trace string
+	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		var issuerKey sharedrsa.PublicKey
 		switch rev.Cert.Issuer {
 		case cur.anchors.RAName:
@@ -816,26 +820,29 @@ func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) (err error) {
 		case cur.anchors.AAName:
 			issuerKey = cur.anchors.AAKey
 		default:
-			return fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
+			return nil, fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
 		}
 		if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
-			return fmt.Errorf("%w: %v", ErrDenied, err)
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
 		}
 		keyBelief, ok := eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
 		if !ok {
-			return fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
+			return nil, fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
 		}
 		if _, _, err := eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
-			return fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
+			return nil, fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
 		}
-		if s.log != nil {
-			s.log.Record(audit.Entry{
-				At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
-				Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
-				Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
-				ProofTrace: eng.Proof().String(),
-			})
-		}
-		return nil
+		trace = eng.Proof().String()
+		return certRecord(wal.TypeRevocation, rev, s.clk.Now())
 	})
+	if err != nil {
+		return err
+	}
+	s.audit(audit.Entry{
+		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+		Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
+		Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
+		ProofTrace: trace,
+	})
+	return nil
 }

@@ -1,0 +1,375 @@
+// Durability: journaling belief mutations to the write-ahead log and
+// replaying them on startup.
+//
+// Every belief mutation (revocation, identity revocation, group link,
+// re-anchoring) is appended to the attached journal *before* the new
+// snapshot is published — write-ahead in the strict sense: a mutation
+// the caller saw acknowledged is on stable storage. Audit entries are
+// journaled too, on the group-commit path (no fsync wait — decisions are
+// observability, not preconditions).
+//
+// Replay applies the records directly to the belief store, mirroring the
+// derivations the live processors ran, rather than re-running the
+// cryptographic verifications: each record was signature-verified when
+// it was first processed and is CRC-protected at rest, and after a full
+// restart the signing keys may have been regenerated (the daemon's
+// authorities hold fresh keys every boot). The revocation matching layer
+// compares principal *names* (logic.BeliefStore's subject aliasing), so
+// a replayed revocation of G_write over {alice, bob} blocks a re-issued
+// certificate with brand-new keys — exactly the Requirement III
+// guarantee a restart must not forget.
+package authz
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"jointadmin/internal/audit"
+	"jointadmin/internal/clock"
+	"jointadmin/internal/logic"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/wal"
+)
+
+// Journal is the durable sink for belief mutations and audit decisions.
+// *wal.Log implements it; tests may substitute fakes.
+type Journal interface {
+	// Append stores one record; wait=true blocks until it is on stable
+	// storage.
+	Append(rec wal.Record, wait bool) (uint64, error)
+	// Empty reports whether the journal holds no records yet.
+	Empty() bool
+}
+
+var _ Journal = (*wal.Log)(nil)
+
+// journalBox wraps the Journal for atomic.Pointer storage (Authorize
+// reads it lock-free on the audit path).
+type journalBox struct{ j Journal }
+
+// SetJournal attaches the journal: from now on every belief mutation is
+// recorded before it is acknowledged. On a brand-new journal the current
+// anchors and epoch are written first (the genesis record), so recovery
+// always starts from a known trust state. Call after Replay, never
+// before — journaling replayed records would duplicate them.
+func (s *Server) SetJournal(j Journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j == nil {
+		return errors.New("authz: nil journal")
+	}
+	if j.Empty() {
+		st := s.state.Load()
+		rec, err := anchorsRecord(st.anchors, st.epoch, s.clk.Now())
+		if err != nil {
+			return err
+		}
+		if _, err := j.Append(rec, true); err != nil {
+			return fmt.Errorf("authz: journal genesis anchors: %w", err)
+		}
+	}
+	s.journal.Store(&journalBox{j: j})
+	return nil
+}
+
+// journalRef returns the attached journal, nil when none.
+func (s *Server) journalRef() Journal {
+	if b := s.journal.Load(); b != nil {
+		return b.j
+	}
+	return nil
+}
+
+// wireAnchors is the serializable form of TrustAnchors (sharedrsa keys
+// rendered through pki.KeyInfo).
+type wireAnchors struct {
+	AAName          string                 `json:"aaName"`
+	AAKey           pki.KeyInfo            `json:"aaKey"`
+	Domains         []string               `json:"domains"`
+	CAKeys          map[string]pki.KeyInfo `json:"caKeys"`
+	RAName          string                 `json:"raName,omitempty"`
+	RAKey           pki.KeyInfo            `json:"raKey,omitempty"`
+	TrustSince      clock.Time             `json:"trustSince"`
+	FreshnessWindow int64                  `json:"freshnessWindow,omitempty"`
+}
+
+// anchorsBody is the TypeAnchors record body. Epoch is first so
+// wal.Inspect can read it without knowing the full shape.
+type anchorsBody struct {
+	Epoch   uint64      `json:"epoch"`
+	Anchors wireAnchors `json:"anchors"`
+}
+
+func anchorsRecord(a TrustAnchors, epoch uint64, at clock.Time) (wal.Record, error) {
+	w := wireAnchors{
+		AAName:          a.AAName,
+		AAKey:           pki.NewKeyInfo(a.AAKey),
+		Domains:         a.Domains,
+		CAKeys:          make(map[string]pki.KeyInfo, len(a.CAKeys)),
+		TrustSince:      a.TrustSince,
+		FreshnessWindow: a.FreshnessWindow,
+	}
+	for name, key := range a.CAKeys {
+		w.CAKeys[name] = pki.NewKeyInfo(key)
+	}
+	if a.RAName != "" {
+		w.RAName, w.RAKey = a.RAName, pki.NewKeyInfo(a.RAKey)
+	}
+	body, err := json.Marshal(anchorsBody{Epoch: epoch, Anchors: w})
+	if err != nil {
+		return wal.Record{}, fmt.Errorf("authz: encode anchors record: %w", err)
+	}
+	return wal.Record{Type: wal.TypeAnchors, At: at, Body: body}, nil
+}
+
+func decodeAnchors(body json.RawMessage) (TrustAnchors, uint64, error) {
+	var b anchorsBody
+	if err := json.Unmarshal(body, &b); err != nil {
+		return TrustAnchors{}, 0, fmt.Errorf("authz: decode anchors record: %w", err)
+	}
+	a := TrustAnchors{
+		AAName:          b.Anchors.AAName,
+		Domains:         b.Anchors.Domains,
+		CAKeys:          make(map[string]sharedrsa.PublicKey, len(b.Anchors.CAKeys)),
+		RAName:          b.Anchors.RAName,
+		TrustSince:      b.Anchors.TrustSince,
+		FreshnessWindow: b.Anchors.FreshnessWindow,
+	}
+	var err error
+	if a.AAKey, err = b.Anchors.AAKey.PublicKey(); err != nil {
+		return TrustAnchors{}, 0, fmt.Errorf("authz: anchors record AA key: %w", err)
+	}
+	for name, ki := range b.Anchors.CAKeys {
+		if a.CAKeys[name], err = ki.PublicKey(); err != nil {
+			return TrustAnchors{}, 0, fmt.Errorf("authz: anchors record CA %s key: %w", name, err)
+		}
+	}
+	if b.Anchors.RAName != "" {
+		if a.RAKey, err = b.Anchors.RAKey.PublicKey(); err != nil {
+			return TrustAnchors{}, 0, fmt.Errorf("authz: anchors record RA key: %w", err)
+		}
+	}
+	return a, b.Epoch, nil
+}
+
+// certRecord wraps a signed certificate as a WAL record using its
+// existing deterministic wire encoding.
+func certRecord[T any](typ wal.Type, sc pki.Signed[T], at clock.Time) (*wal.Record, error) {
+	body, err := pki.Marshal(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &wal.Record{Type: typ, At: at, Body: body}, nil
+}
+
+// auditRecord wraps an audit entry as a WAL record.
+func auditRecord(e audit.Entry, at clock.Time) (wal.Record, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return wal.Record{}, fmt.Errorf("authz: encode audit record: %w", err)
+	}
+	return wal.Record{Type: wal.TypeAudit, At: at, Body: body}, nil
+}
+
+// audit records an entry in the in-memory audit log and, when a journal
+// is attached, appends it as a WAL audit record on the group-commit path
+// (wait=false).
+func (s *Server) audit(e audit.Entry) {
+	if s.log != nil {
+		s.log.Record(e)
+	}
+	if j := s.journalRef(); j != nil {
+		if rec, err := auditRecord(e, e.At); err == nil {
+			j.Append(rec, false)
+		}
+	}
+}
+
+// ReplayPolicy selects how Replay treats anchors records.
+type ReplayPolicy int
+
+const (
+	// ReplayExact reinstalls each recorded anchors record verbatim and
+	// applies every mutation: the recovered server ends at the recorded
+	// epoch and watermark with the recorded trust anchors. Use when the
+	// signing authorities outlive the server process.
+	ReplayExact ReplayPolicy = iota
+	// ReplayBeliefs keeps the server's current (freshly configured)
+	// anchors and applies only the belief mutations recorded after the
+	// last anchors record — matching live semantics, where a re-anchoring
+	// rebuilds the belief set and re-issues certificates. Use when the
+	// whole authority stack restarted with new keys (the daemon).
+	ReplayBeliefs
+)
+
+// ReplayReport summarizes a replay.
+type ReplayReport struct {
+	Records             int
+	Anchors             int
+	Revocations         int
+	IdentityRevocations int
+	GroupLinks          int
+	AuditEntries        int
+	// Skipped counts belief mutations superseded by a later re-anchoring
+	// (ReplayBeliefs only).
+	Skipped int
+	// Epoch and Watermark are the server's versions after the replay.
+	Epoch     uint64
+	Watermark uint64
+}
+
+// String renders the report as a one-line summary.
+func (r ReplayReport) String() string {
+	return fmt.Sprintf("replayed %d records (%d anchors, %d revocations, %d identity revocations, %d group links, %d audit entries; %d superseded) → epoch %d watermark %d",
+		r.Records, r.Anchors, r.Revocations, r.IdentityRevocations, r.GroupLinks, r.AuditEntries, r.Skipped, r.Epoch, r.Watermark)
+}
+
+// Replay rebuilds the server's belief state from a recovered record
+// sequence (wal.Open's output). It must run before SetJournal and before
+// the server handles requests. The logical clock is advanced to each
+// record's timestamp, so time-dependent beliefs — revocation effective
+// times, accuracy intervals — reproduce exactly; a replayed revocation
+// therefore denies requests after restart just as it did before the
+// crash.
+func (s *Server) Replay(recs []wal.Record, policy ReplayPolicy) (ReplayReport, error) {
+	var rep ReplayReport
+	if s.journalRef() != nil {
+		return rep, errors.New("authz: Replay must run before SetJournal")
+	}
+	// Under ReplayBeliefs, mutations before the final anchors record were
+	// superseded by that re-anchoring (live rekeys re-issue certificates
+	// and rebuild beliefs from scratch).
+	cut := -1
+	if policy == ReplayBeliefs {
+		for i, r := range recs {
+			if r.Type == wal.TypeAnchors {
+				cut = i
+			}
+		}
+	}
+	for i, r := range recs {
+		s.clk.AdvanceTo(r.At)
+		rep.Records++
+		superseded := policy == ReplayBeliefs && i < cut
+		var err error
+		switch r.Type {
+		case wal.TypeAnchors:
+			rep.Anchors++
+			if policy == ReplayExact {
+				err = s.replayAnchors(r)
+			}
+		case wal.TypeRevocation:
+			if superseded {
+				rep.Skipped++
+				continue
+			}
+			rep.Revocations++
+			err = s.replayRevocation(r)
+		case wal.TypeIdentityRevocation:
+			if superseded {
+				rep.Skipped++
+				continue
+			}
+			rep.IdentityRevocations++
+			err = s.replayIdentityRevocation(r)
+		case wal.TypeGroupLink:
+			if superseded {
+				rep.Skipped++
+				continue
+			}
+			rep.GroupLinks++
+			err = s.replayGroupLink(r)
+		case wal.TypeAudit:
+			rep.AuditEntries++
+			var e audit.Entry
+			if err = json.Unmarshal(r.Body, &e); err == nil && s.log != nil {
+				s.log.Record(e)
+			}
+		default:
+			err = fmt.Errorf("unknown record type %q", r.Type)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("authz: replay record %d (seq %d, %s): %w", i, r.Seq, r.Type, err)
+		}
+	}
+	st := s.state.Load()
+	rep.Epoch, rep.Watermark = st.epoch, st.watermark
+	return rep, nil
+}
+
+// replayAnchors reinstalls a recorded trust-anchor set at its recorded
+// epoch (ReplayExact).
+func (s *Server) replayAnchors(r wal.Record) error {
+	anchors, epoch, err := decodeAnchors(r.Body)
+	if err != nil {
+		return err
+	}
+	s.restoreAt(anchors, epoch)
+	return nil
+}
+
+// replayRevocation re-records a membership revocation's negative belief,
+// mirroring the derivation engine.ProcessRevocation ran live (the
+// certificate was verified then; signatures are not re-checked on
+// replay).
+func (s *Server) replayRevocation(r wal.Record) error {
+	rev, err := pki.Unmarshal[pki.Revocation](r.Body)
+	if err != nil {
+		return err
+	}
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		sub := pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M)
+		g := logic.G(rev.Cert.Group)
+		neg := logic.Not{F: logic.MemberOf{Who: sub, T: logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer), G: g}}
+		step := eng.Proof().Append(logic.RuleRevocation, nil, neg, r.At,
+			fmt.Sprintf("replayed (wal seq %d): membership of %s in %s revoked effective %s",
+				r.Seq, sub, rev.Cert.Group, rev.Cert.EffectiveAt))
+		eng.Store().Add(neg, r.At, step)
+		eng.Store().Revoke(sub, g, r.At, step)
+		return nil, nil
+	})
+}
+
+// replayIdentityRevocation withdraws a recorded key binding, mirroring
+// ProcessIdentityRevocation's direct application.
+func (s *Server) replayIdentityRevocation(r wal.Record) error {
+	rev, err := pki.Unmarshal[pki.IdentityRevocation](r.Body)
+	if err != nil {
+		return err
+	}
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		neg := logic.Not{F: logic.KeySpeaksFor{
+			K:   logic.KeyID(rev.Cert.KeyID),
+			T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
+			Who: logic.P(rev.Cert.Subject),
+		}}
+		step := eng.Proof().Append(logic.RuleRevocation, nil, neg, r.At,
+			fmt.Sprintf("replayed (wal seq %d): identity key of %s revoked by %s effective %s",
+				r.Seq, rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
+		eng.Store().Add(neg, r.At, step)
+		eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
+		return nil, nil
+	})
+}
+
+// replayGroupLink re-records an accepted privilege-inheritance belief,
+// mirroring the A3 localization the live derivation concluded with.
+func (s *Server) replayGroupLink(r wal.Record) error {
+	link, err := pki.Unmarshal[pki.GroupLink](r.Body)
+	if err != nil {
+		return err
+	}
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		f := logic.GroupSpeaksFor{
+			Sub: logic.G(link.Cert.Sub),
+			T:   logic.During(link.Cert.NotBefore, link.Cert.NotAfter).On(link.Cert.Issuer),
+			Sup: logic.G(link.Cert.Sup),
+		}
+		step := eng.Proof().Append("A3 (localized belief)", nil, f, r.At,
+			fmt.Sprintf("replayed (wal seq %d): %s ⇒ %s", r.Seq, link.Cert.Sub, link.Cert.Sup))
+		eng.Store().Add(f, r.At, step)
+		return nil, nil
+	})
+}

@@ -14,11 +14,13 @@
 package authz
 
 import (
+	"fmt"
 	"sync"
 
 	"jointadmin/internal/clock"
 	"jointadmin/internal/logic"
 	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/wal"
 )
 
 // state is one immutable belief snapshot. All fields are fixed after
@@ -111,13 +113,26 @@ func (c *certCache) len() int {
 // snapshot stay O(1). On error the fork is discarded and the published
 // state is untouched. Mutators are serialized by s.mu; Authorize never
 // takes it.
-func (s *Server) mutate(fn func(cur *state, eng *logic.Engine) error) error {
+//
+// fn may return a WAL record describing the mutation; when a journal is
+// attached the record is written — and fsynced — before the snapshot is
+// published, so an acknowledged mutation is always on stable storage
+// (write-ahead). A journal failure aborts the mutation.
+func (s *Server) mutate(fn func(cur *state, eng *logic.Engine) (*wal.Record, error)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.state.Load()
 	eng := cur.eng.Fork()
-	if err := fn(cur, eng); err != nil {
+	rec, err := fn(cur, eng)
+	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if j := s.journalRef(); j != nil {
+			if _, err := j.Append(*rec, true); err != nil {
+				return fmt.Errorf("authz: journal mutation: %w", err)
+			}
+		}
 	}
 	eng.Seal()
 	s.publish(&state{
@@ -144,15 +159,44 @@ func (s *Server) publish(next, prev *state) {
 // Reanchor replaces the server's trust anchors — the re-anchoring a
 // coalition rekey (Join/Leave) requires — bumping the key epoch. The belief
 // set is rebuilt from the new anchors and the certificate cache is
-// discarded: nothing verified under the old epoch survives.
-func (s *Server) Reanchor(anchors TrustAnchors) {
+// discarded: nothing verified under the old epoch survives. With a
+// journal attached, the new anchors are recorded (and fsynced) before
+// the epoch is published; a journal failure leaves the old epoch in
+// place.
+func (s *Server) Reanchor(anchors TrustAnchors) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.state.Load()
+	if j := s.journalRef(); j != nil {
+		rec, err := anchorsRecord(anchors, cur.epoch+1, s.clk.Now())
+		if err != nil {
+			return err
+		}
+		if _, err := j.Append(rec, true); err != nil {
+			return fmt.Errorf("authz: journal re-anchoring: %w", err)
+		}
+	}
+	s.publish(&state{
+		anchors:   anchors,
+		eng:       freshEngine(s.name, s.clk, anchors),
+		epoch:     cur.epoch + 1,
+		watermark: 0,
+		cache:     newCertCache(),
+	}, cur)
+	return nil
+}
+
+// restoreAt installs recorded trust anchors at their recorded epoch —
+// the replay counterpart of Reanchor (ReplayExact), which never
+// journals: the record being replayed is already durable.
+func (s *Server) restoreAt(anchors TrustAnchors, epoch uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.state.Load()
 	s.publish(&state{
 		anchors:   anchors,
 		eng:       freshEngine(s.name, s.clk, anchors),
-		epoch:     cur.epoch + 1,
+		epoch:     epoch,
 		watermark: 0,
 		cache:     newCertCache(),
 	}, cur)

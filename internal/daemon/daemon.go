@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"jointadmin"
+	"jointadmin/internal/authz"
 	"jointadmin/internal/jointsig"
 	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
+	"jointadmin/internal/wal"
 )
 
 // Command is the client → daemon request.
@@ -71,6 +73,25 @@ type Config struct {
 	// (default GOMAXPROCS). Replies are written by a single sender
 	// goroutine, so the transport never sees interleaved frames.
 	Workers int
+
+	// DataDir, when set, makes coalition state durable: every belief
+	// mutation (revocation, re-anchoring, group link) and audit decision
+	// is recorded in a write-ahead log under this directory before it is
+	// acknowledged, and replayed on startup — a restarted daemon still
+	// denies what was revoked before the crash. Empty runs in-memory
+	// only.
+	DataDir string
+	// WALBatchWindow is the group-commit fsync window (0 = fsync on
+	// every append; see docs/OPERATIONS.md for the trade-offs).
+	WALBatchWindow time.Duration
+	// AuditRetention caps the in-memory audit log; older entries are
+	// evicted (they remain recoverable from the WAL when DataDir is
+	// set). 0 keeps everything in memory.
+	AuditRetention int
+	// CompactBytes triggers log compaction after a dynamics command once
+	// wal.log exceeds this size. 0 selects the default (4 MiB); negative
+	// disables compaction.
+	CompactBytes int64
 }
 
 // Daemon metric names.
@@ -96,6 +117,11 @@ type Daemon struct {
 	object   string
 	reg      *obs.Registry
 	workers  int
+
+	// wal is the durable state log (nil without Config.DataDir).
+	wal          *wal.Log
+	compactBytes int64
+	keepAudit    int
 
 	// dyn gates coalition dynamics (revoke, join, leave — which rewrite
 	// alliance certificates and re-anchor the server) against the request
@@ -146,11 +172,80 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	srv.Authz().Instrument(cfg.Metrics)
+	if cfg.AuditRetention > 0 {
+		srv.Audit().SetRetention(cfg.AuditRetention, nil)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics, workers: workers}, nil
+	d := &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics, workers: workers}
+	if cfg.DataDir != "" {
+		if err := d.openWAL(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// openWAL recovers the daemon's durable state and attaches the journal.
+// The daemon's authorities regenerate their keys every boot, so recovery
+// uses ReplayBeliefs: the fresh anchors stand, and the belief mutations
+// recorded since the last re-anchoring — crucially, revocations — are
+// re-applied. Revocation matching is by principal name, so a revocation
+// recorded before the crash still blocks the re-issued certificates.
+func (d *Daemon) openWAL(cfg Config) error {
+	l, recs, err := wal.Open(cfg.DataDir, wal.Options{
+		BatchWindow: cfg.WALBatchWindow,
+		Metrics:     cfg.Metrics,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return fmt.Errorf("daemon: open wal: %w", err)
+	}
+	rep, err := d.server.Authz().Replay(recs, authz.ReplayBeliefs)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("daemon: wal replay: %w", err)
+	}
+	if rep.Records > 0 {
+		log.Printf("daemon: %s", rep)
+	}
+	if err := d.server.Authz().SetJournal(l); err != nil {
+		l.Close()
+		return fmt.Errorf("daemon: attach journal: %w", err)
+	}
+	d.wal = l
+	d.compactBytes = cfg.CompactBytes
+	if d.compactBytes == 0 {
+		d.compactBytes = 4 << 20
+	}
+	d.keepAudit = cfg.AuditRetention
+	if d.keepAudit <= 0 {
+		d.keepAudit = -1 // keep all audit records across compactions
+	}
+	return nil
+}
+
+// Close flushes and releases the daemon's durable resources. Call after
+// Serve returns; a daemon without a data dir needs no Close.
+func (d *Daemon) Close() error {
+	if d.wal != nil {
+		return d.wal.Close()
+	}
+	return nil
+}
+
+// maybeCompact folds the log into the snapshot once it outgrows the
+// configured bound. Called after dynamics commands (the natural
+// compaction points: a rekey supersedes earlier belief mutations).
+func (d *Daemon) maybeCompact() {
+	if d.wal == nil || d.compactBytes <= 0 || d.wal.LogBytes() < d.compactBytes {
+		return
+	}
+	if err := d.wal.Compact(wal.CompactPolicy(d.keepAudit)); err != nil {
+		log.Printf("daemon: wal compaction: %v", err)
+	}
 }
 
 // Alliance exposes the underlying alliance (tests, dynamics).
@@ -256,6 +351,7 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		if err := a.Revoke(group(cmd.Group, "G_write"), srv); err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
+		d.maybeCompact()
 		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
 	case "audit":
 		return Reply{OK: true, Data: srv.Audit().Render()}, ""
@@ -273,7 +369,10 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		a.Reanchor(srv)
+		if err := a.Reanchor(srv); err != nil {
+			return Reply{Detail: "re-anchor: " + err.Error()}, "wal"
+		}
+		d.maybeCompact()
 		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (server re-anchored)",
 			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	case "leave":
@@ -281,7 +380,10 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
-		a.Reanchor(srv)
+		if err := a.Reanchor(srv); err != nil {
+			return Reply{Detail: "re-anchor: " + err.Error()}, "wal"
+		}
+		d.maybeCompact()
 		return Reply{OK: true, Detail: fmt.Sprintf("epoch %d: revoked %d, re-issued %d (server re-anchored)",
 			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	default:

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jointadmin/internal/clock"
+)
+
+// BenchmarkWALAppend measures the append path under the three durability
+// policies (see docs/OPERATIONS.md): fsync on every append, group-commit
+// batching, and no sync at all. The batch series runs parallel appenders
+// so one flush amortizes over many records — the effect the policy
+// exists for.
+func BenchmarkWALAppend(b *testing.B) {
+	payload, _ := json.Marshal(map[string]string{"group": "G_write", "subject": "alice"})
+	rec := func(i int) Record {
+		return Record{Type: TypeRevocation, At: clock.Time(i), Body: payload}
+	}
+
+	b.Run("sync-every", func(b *testing.B) {
+		l, _, err := Open(b.TempDir(), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(rec(i), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, window := range []time.Duration{time.Millisecond, 5 * time.Millisecond} {
+		b.Run(fmt.Sprintf("batch-%s", window), func(b *testing.B) {
+			l, _, err := Open(b.TempDir(), Options{BatchWindow: window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			var i atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(rec(int(i.Add(1))), true); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+
+	b.Run("nosync", func(b *testing.B) {
+		l, _, err := Open(b.TempDir(), Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(rec(i), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

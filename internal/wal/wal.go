@@ -1,0 +1,318 @@
+// Package wal is the durable record of coalition belief state: an
+// append-only, CRC-framed, fsync-batched write-ahead log plus an atomic
+// snapshot for compaction.
+//
+// The paper's guarantees hinge on time-stamped distribution and
+// revocation of certificates that servers "believe until revoked"
+// (Section 4.3, A34–A38) — beliefs that must survive a server crash, or
+// a restarted daemon silently forgets revocations and re-grants access.
+// Every state-changing event (revocation, identity revocation, group
+// link, re-anchoring, audit decision) is appended here as a typed record
+// before it is acknowledged; on startup the records are replayed through
+// the authz mutate/seal path to rebuild the published snapshot.
+//
+// Durability policy: appends are framed and written immediately; fsync
+// is batched over a configurable window (group commit), so concurrent
+// writers share one disk flush. A caller that must not acknowledge
+// before the record is on stable storage passes wait=true to Append.
+//
+// Recovery policy: a torn final record (crash mid-append) is truncated
+// with a warning — it was never acknowledged. Corruption anywhere before
+// the tail fails closed with a precise offset: that data was durable
+// once, and guessing around it would resurrect revoked authority.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"jointadmin/internal/obs"
+)
+
+// On-disk layout inside a data directory.
+const (
+	// LogName is the append-only record file.
+	LogName = "wal.log"
+	// SnapshotName is the compacted-state file (written atomically).
+	SnapshotName = "snapshot.json"
+)
+
+// Metric names (registered on the injected obs.Registry).
+const (
+	// MetricAppends counts appended records, labeled type=<record type>.
+	MetricAppends = "wal_append_total"
+	// MetricFsyncSeconds times each log fsync.
+	MetricFsyncSeconds = "wal_fsync_seconds"
+	// MetricReplayRecords counts records handed back by Open for replay,
+	// labeled type=<record type>.
+	MetricReplayRecords = "wal_replay_records"
+	// MetricCompactions counts snapshot compactions.
+	MetricCompactions = "snapshot_compactions_total"
+	// MetricTornTruncations counts torn final records truncated at Open.
+	MetricTornTruncations = "wal_torn_truncations_total"
+)
+
+// ErrClosed indicates an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures a Log.
+type Options struct {
+	// BatchWindow is the group-commit window: an append schedules one
+	// fsync this far in the future and every record written before it
+	// fires rides the same flush. 0 (the default) syncs on every append —
+	// slowest, strongest. See docs/OPERATIONS.md for the trade-offs.
+	BatchWindow time.Duration
+	// NoSync disables fsync entirely (tests, throwaway demos). A crash
+	// may lose acknowledged records.
+	NoSync bool
+	// Metrics receives the log's counters and timings; nil drops them.
+	Metrics *obs.Registry
+	// Logf receives recovery warnings (torn-record truncation). nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// Log is an append-only write-ahead log bound to one data directory.
+// Append is safe for concurrent use.
+type Log struct {
+	dir  string
+	path string
+	opts Options
+	reg  *obs.Registry
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast after each fsync attempt
+	f    *os.File
+	off  int64 // end of the valid log region
+	seq  uint64
+	// syncedSeq is the highest sequence number known stable; waiters on
+	// Append(wait=true) block until it reaches their record.
+	syncedSeq     uint64
+	syncScheduled bool
+	syncErr       error // sticky: after a failed fsync the log only errors
+	count         int   // records across snapshot + log
+	closed        bool
+}
+
+// Open opens (creating if needed) the write-ahead log in dir and returns
+// it together with the full recovered record sequence — snapshot records
+// first, then the log's — for the caller to replay. A torn final record
+// is truncated with a warning through Options.Logf; mid-log corruption
+// returns a *CorruptError and no log.
+func Open(dir string, opts Options) (*Log, []Record, error) {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create data dir: %w", err)
+	}
+	snap, err := loadSnapshot(filepath.Join(dir, SnapshotName))
+	if err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, LogName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	recs, validOff, torn, corrupt := Scan(data)
+	if corrupt != nil {
+		f.Close()
+		corrupt.Path = path
+		return nil, nil, corrupt
+	}
+	if torn != "" {
+		opts.Logf("wal: torn final record in %s at offset %d (%s): truncating %d bytes",
+			path, validOff, torn, int64(len(data))-validOff)
+		if err := f.Truncate(validOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn record: %w", err)
+		}
+		if !opts.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: sync after truncate: %w", err)
+			}
+		}
+		opts.Metrics.Counter(MetricTornTruncations).Inc()
+	}
+	// A crash between snapshot rename and log truncate during compaction
+	// leaves log records the snapshot already covers; skip them.
+	kept := recs[:0]
+	for _, r := range recs {
+		if r.Seq > snap.LastSeq {
+			kept = append(kept, r)
+		}
+	}
+	all := make([]Record, 0, len(snap.Records)+len(kept))
+	all = append(all, snap.Records...)
+	all = append(all, kept...)
+
+	last := snap.LastSeq
+	if n := len(kept); n > 0 {
+		last = kept[n-1].Seq
+	}
+	l := &Log{
+		dir:       dir,
+		path:      path,
+		opts:      opts,
+		reg:       opts.Metrics,
+		f:         f,
+		off:       validOff,
+		seq:       last,
+		syncedSeq: last,
+		count:     len(all),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	for _, r := range all {
+		l.reg.Counter(MetricReplayRecords, "type", string(r.Type)).Inc()
+	}
+	return l, all, nil
+}
+
+// Append assigns the record its sequence number, frames it, and writes
+// it to the log. With wait=true it blocks until the record is on stable
+// storage (its group-commit fsync completed); with wait=false it returns
+// as soon as the bytes are handed to the OS, riding a later flush. The
+// assigned sequence number is returned.
+func (l *Log) Append(rec Record, wait bool) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.syncErr != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.syncErr)
+	}
+	rec.Seq = l.seq + 1
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := l.f.WriteAt(frame, l.off); err != nil {
+		l.syncErr = err
+		l.cond.Broadcast()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq = rec.Seq
+	l.off += int64(len(frame))
+	l.count++
+	l.reg.Counter(MetricAppends, "type", string(rec.Type)).Inc()
+
+	switch {
+	case l.opts.NoSync:
+		l.syncedSeq = l.seq
+	case l.opts.BatchWindow <= 0:
+		l.fsyncLocked()
+	default:
+		if !l.syncScheduled {
+			l.syncScheduled = true
+			time.AfterFunc(l.opts.BatchWindow, l.flush)
+		}
+	}
+	if wait {
+		for l.syncedSeq < rec.Seq && l.syncErr == nil && !l.closed {
+			l.cond.Wait()
+		}
+		switch {
+		case l.syncErr != nil:
+			return rec.Seq, fmt.Errorf("wal: fsync: %w", l.syncErr)
+		case l.syncedSeq < rec.Seq:
+			return rec.Seq, ErrClosed
+		}
+	}
+	return rec.Seq, nil
+}
+
+// fsyncLocked flushes the log file and wakes every waiter. Called with
+// l.mu held.
+func (l *Log) fsyncLocked() {
+	start := time.Now()
+	err := l.f.Sync()
+	l.reg.Histogram(MetricFsyncSeconds, nil).ObserveSince(start)
+	if err != nil {
+		l.syncErr = err
+	} else {
+		l.syncedSeq = l.seq
+	}
+	l.syncScheduled = false
+	l.cond.Broadcast()
+}
+
+// flush is the group-commit timer callback.
+func (l *Log) flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.syncErr != nil {
+		return
+	}
+	if l.syncedSeq < l.seq {
+		l.fsyncLocked()
+	} else {
+		l.syncScheduled = false
+	}
+}
+
+// Sync forces an immediate flush of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.syncErr == nil && l.syncedSeq < l.seq {
+		l.fsyncLocked()
+	}
+	return l.syncErr
+}
+
+// Close flushes pending records and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if l.syncErr == nil && !l.opts.NoSync && l.syncedSeq < l.seq {
+		l.fsyncLocked()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	err := l.f.Close()
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	return err
+}
+
+// Empty reports whether the log holds no records at all (snapshot
+// included) — a brand-new data directory awaiting its genesis record.
+func (l *Log) Empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count == 0
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// LogBytes returns the current size of the append-only log file — the
+// compaction trigger input (the snapshot is not counted).
+func (l *Log) LogBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}

@@ -401,9 +401,11 @@ func (s *Server) Request(ctx context.Context, req AccessRequest) (Decision, erro
 // Reanchor re-anchors the server at the alliance's current key epoch,
 // re-installing trust anchors after a Join/Leave rekey. The server's
 // derived beliefs and certificate cache are rebuilt from scratch: nothing
-// verified under the old epoch survives.
-func (a *Alliance) Reanchor(s *Server) {
-	s.inner.Reanchor(a.c.Anchors(a.opts.freshness))
+// verified under the old epoch survives. When the server journals its
+// state, the new anchors are durably recorded before the epoch switches;
+// the error reports a journal failure (the old epoch stays published).
+func (a *Alliance) Reanchor(s *Server) error {
+	return s.inner.Reanchor(a.c.Anchors(a.opts.freshness))
 }
 
 // BoundSubjectsOf lists the subjects bound into the group's certificate —

@@ -25,7 +25,13 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> crash recovery under race (go test -race -run 'CrashRecovery|Recovery')"
+go test -race -run 'CrashRecovery|Recovery' ./internal/authz/ ./internal/daemon/
+
 echo "==> bench smoke (go test -bench='Authorize|ForkScaling' -benchtime=1x)"
 go test -run '^$' -bench='Authorize|ForkScaling' -benchtime=1x .
+
+echo "==> bench smoke (go test -bench=WALAppend -benchtime=1x ./internal/wal)"
+go test -run '^$' -bench=WALAppend -benchtime=1x ./internal/wal
 
 echo "OK"
