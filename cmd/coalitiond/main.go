@@ -40,8 +40,18 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log + snapshots; empty = in-memory only)")
 	walBatch := flag.Duration("wal-batch", 0, "WAL group-commit fsync window (0 = fsync every append)")
 	auditCap := flag.Int("audit-retention", 0, "cap on in-memory audit entries (0 = unbounded; evicted entries stay in the WAL)")
+	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "transport: per-connection dial deadline")
+	sendTimeout := flag.Duration("send-timeout", transport.DefaultWriteTimeout, "transport: per-frame write deadline (negative disables)")
+	sendRetries := flag.Int("send-retries", transport.DefaultAttempts, "transport: send attempts per frame (1 disables retries)")
+	retryBackoff := flag.Duration("retry-backoff", transport.DefaultRetryBase, "transport: first retry backoff (doubles per attempt, jittered)")
 	flag.Parse()
-	if err := run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM, *dataDir, *walBatch, *auditCap); err != nil {
+	topts := transport.Options{
+		DialTimeout:  *dialTimeout,
+		WriteTimeout: *sendTimeout,
+		Attempts:     *sendRetries,
+		RetryBase:    *retryBackoff,
+	}
+	if err := run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM, *dataDir, *walBatch, *auditCap, topts); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -56,7 +66,7 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func run(listen, metricsAddr string, domains, users []string, writeM int, dataDir string, walBatch time.Duration, auditCap int) error {
+func run(listen, metricsAddr string, domains, users []string, writeM int, dataDir string, walBatch time.Duration, auditCap int, topts transport.Options) error {
 	reg := obs.NewRegistry()
 	d, err := daemon.New(daemon.Config{
 		Domains:        domains,
@@ -66,6 +76,7 @@ func run(listen, metricsAddr string, domains, users []string, writeM int, dataDi
 		DataDir:        dataDir,
 		WALBatchWindow: walBatch,
 		AuditRetention: auditCap,
+		Transport:      topts,
 	})
 	if err != nil {
 		return err
@@ -74,12 +85,11 @@ func run(listen, metricsAddr string, domains, users []string, writeM int, dataDi
 	if dataDir != "" {
 		log.Printf("coalitiond durable state in %s (wal-batch=%s)", dataDir, walBatch)
 	}
-	node, err := transport.ListenTCP("coalitiond", listen)
+	node, err := d.Listen(listen)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
-	node.Instrument(reg)
 	if metricsAddr != "" {
 		go func() {
 			log.Printf("coalitiond metrics on http://%s/metrics (also /debug/vars, /debug/pprof/)", metricsAddr)

@@ -68,6 +68,9 @@ func main() {
 	signers := flag.String("signers", "", "comma-separated co-signers")
 	domain := flag.String("domain", "", "domain for join/leave")
 	timeout := flag.Duration("timeout", 10*time.Second, "reply timeout")
+	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "transport: dial deadline for reaching the daemon")
+	sendRetries := flag.Int("send-retries", transport.DefaultAttempts, "transport: send attempts per frame (1 disables retries)")
+	retryBackoff := flag.Duration("retry-backoff", transport.DefaultRetryBase, "transport: first retry backoff (doubles per attempt, jittered)")
 	flag.Parse()
 
 	if err := run(*server, Command{
@@ -77,7 +80,11 @@ func main() {
 		Data:    *data,
 		Signers: splitCSV(*signers),
 		Domain:  *domain,
-	}, *timeout); err != nil {
+	}, *timeout, transport.Options{
+		DialTimeout: *dialTimeout,
+		Attempts:    *sendRetries,
+		RetryBase:   *retryBackoff,
+	}); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -92,8 +99,8 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func run(server string, cmd Command, timeout time.Duration) error {
-	node, err := transport.ListenTCP("policyctl", "127.0.0.1:0")
+func run(server string, cmd Command, timeout time.Duration, topts transport.Options) error {
+	node, err := transport.ListenTCP("policyctl", "127.0.0.1:0", topts)
 	if err != nil {
 		return err
 	}

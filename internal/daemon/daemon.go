@@ -27,6 +27,10 @@ import (
 
 // Command is the client → daemon request.
 type Command struct {
+	// ID is an optional client-chosen request identifier, echoed verbatim
+	// in the Reply. Clients that retry over a lossy transport use it to
+	// match late or duplicated replies to the command that caused them.
+	ID string `json:"id,omitempty"`
 	// Cmd selects the operation: write, read, revoke, audit, stats, join,
 	// leave.
 	Cmd string `json:"cmd"`
@@ -45,6 +49,8 @@ type Command struct {
 
 // Reply is the daemon → client response.
 type Reply struct {
+	// ID echoes the Command's request identifier.
+	ID string `json:"id,omitempty"`
 	// OK reports whether the command succeeded.
 	OK bool `json:"ok"`
 	// Detail is a human-readable outcome (approval route, error text).
@@ -71,8 +77,14 @@ type Config struct {
 	Metrics *obs.Registry
 	// Workers bounds how many commands Serve handles concurrently
 	// (default GOMAXPROCS). Replies are written by a single sender
-	// goroutine, so the transport never sees interleaved frames.
+	// goroutine, so reordering stays per-client even under retries.
 	Workers int
+
+	// Transport configures the daemon's TCP resilience — dial and write
+	// deadlines plus the bounded retry/backoff policy replies are sent
+	// under (see transport.Options). Zero values select the transport
+	// defaults; Listen applies it to the node it creates.
+	Transport transport.Options
 
 	// DataDir, when set, makes coalition state durable: every belief
 	// mutation (revocation, re-anchoring, group link) and audit decision
@@ -112,11 +124,12 @@ const (
 
 // Daemon is the running coalition policy service.
 type Daemon struct {
-	alliance *jointadmin.Alliance
-	server   *jointadmin.Server
-	object   string
-	reg      *obs.Registry
-	workers  int
+	alliance  *jointadmin.Alliance
+	server    *jointadmin.Server
+	object    string
+	reg       *obs.Registry
+	workers   int
+	transport transport.Options
 
 	// wal is the durable state log (nil without Config.DataDir).
 	wal          *wal.Log
@@ -179,7 +192,8 @@ func New(cfg Config) (*Daemon, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	d := &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics, workers: workers}
+	d := &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics,
+		workers: workers, transport: cfg.Transport}
 	if cfg.DataDir != "" {
 		if err := d.openWAL(cfg); err != nil {
 			return nil, err
@@ -246,6 +260,18 @@ func (d *Daemon) maybeCompact() {
 	if err := d.wal.Compact(wal.CompactPolicy(d.keepAudit)); err != nil {
 		log.Printf("daemon: wal compaction: %v", err)
 	}
+}
+
+// Listen opens the daemon's TCP command node on addr with the configured
+// transport options (Config.Transport) and metrics registry applied —
+// the node coalitiond hands to Serve.
+func (d *Daemon) Listen(addr string) (*transport.TCPNode, error) {
+	node, err := transport.ListenTCP("coalitiond", addr, d.transport)
+	if err != nil {
+		return nil, err
+	}
+	node.Instrument(d.reg)
+	return node, nil
 }
 
 // Alliance exposes the underlying alliance (tests, dynamics).
@@ -431,10 +457,12 @@ type outbound struct {
 // bounded worker pool (Config.Workers), so slow authorizations — RSA
 // verification, co-signer fan-out — overlap instead of serializing behind
 // one another; the daemon_inflight gauge reports the pool's occupancy.
-// Replies funnel through a single sender goroutine (the transport writes
-// frames outside its lock, so concurrent sends to one peer could
-// interleave) and are routed per sender; replies to different clients may
-// reorder relative to arrival, which the request/reply shape tolerates.
+// Replies funnel through a single sender goroutine — the transport's
+// per-peer write lock makes concurrent sends safe, but one sender keeps
+// reply order stable per client and keeps retry backoffs for one dead
+// client from tying up worker goroutines — and are routed per sender;
+// replies to different clients may reorder relative to arrival, which
+// the request/reply shape (and the Command.ID echo) tolerates.
 // On context cancel or listener close the receive loop stops, in-flight
 // commands drain, and queued replies are flushed before Serve returns.
 //
@@ -508,6 +536,7 @@ func (d *Daemon) serveOne(ctx context.Context, env transport.Envelope, replies c
 		reply.Detail = "bad command: " + err.Error()
 	} else {
 		reply = d.Handle(reqCtx, cmd)
+		reply.ID = cmd.ID
 	}
 	body, err := json.Marshal(reply)
 	if err != nil {

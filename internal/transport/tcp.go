@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jointadmin/internal/obs"
@@ -16,17 +19,31 @@ import (
 // TCPNode is a TCP-backed endpoint: it listens on its own address and
 // dials peers on demand (connections are cached per destination). Frames
 // are length-prefixed gob-encoded Envelopes.
+//
+// Connection state is per peer: each peer carries its own lock that
+// serializes dials and frame writes to that destination, so two
+// concurrent Sends to one peer never interleave bytes on the shared
+// connection, and a slow dial to a dead peer never blocks sends to
+// healthy ones (the node-wide lock only guards the peer table itself).
+// Failed writes drop the peer's connection and, governed by Options,
+// are retried with exponential backoff and a fresh dial.
 type TCPNode struct {
 	name     string
 	listener net.Listener
+	opts     Options
 
-	// reg receives the node's transport metrics (Instrument); nil drops
-	// them.
-	reg *obs.Registry
+	// reg holds the node's metrics registry (Instrument); a nil pointer
+	// drops the accounting. Atomic because the accept/read loops consult
+	// it concurrently with Instrument.
+	reg atomic.Pointer[obs.Registry]
+
+	// rng feeds the retry jitter; guarded by rngMu (math/rand.Rand is not
+	// safe for concurrent use).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu       sync.Mutex
-	peers    map[string]string // peer name -> address
-	conns    map[string]net.Conn
+	peers    map[string]*tcpPeer
 	accepted map[net.Conn]bool
 	inbox    chan Envelope
 
@@ -35,8 +52,17 @@ type TCPNode struct {
 	wg        sync.WaitGroup
 }
 
+// tcpPeer is one destination's connection state. Its lock serializes
+// dialing and frame writes to the peer; it is never held together with
+// the node lock (lock order: node, then peer).
+type tcpPeer struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+}
+
 // Transport metric names. Frame/byte counters are labeled dir="in"/"out";
-// per-peer connection gauges are labeled by peer name.
+// per-peer connection gauges and error counters are labeled by peer name.
 const (
 	// MetricFrames counts envelopes moved, labeled dir="in"/"out".
 	MetricFrames = "transport_frames_total"
@@ -53,18 +79,41 @@ const (
 	MetricPeerConns = "transport_peer_conns"
 	// MetricAcceptedConns gauges open accepted (inbound) connections.
 	MetricAcceptedConns = "transport_accepted_conns"
+	// MetricSendRetries counts retried send attempts (attempt 2 and
+	// later), labeled by peer.
+	MetricSendRetries = "transport_send_retries_total"
+	// MetricRedials counts connections re-dialed after a failed write or
+	// dial, labeled by peer.
+	MetricRedials = "transport_redials_total"
+	// MetricWriteTimeouts counts frame writes that exceeded the configured
+	// write deadline, labeled by peer (also counted in send errors).
+	MetricWriteTimeouts = "transport_write_timeouts_total"
 )
 
 // Instrument injects a metrics registry for frame, byte, error and
 // connection accounting. Call it right after ListenTCP, before the node
 // carries traffic; nil (the default) disables the accounting.
-func (n *TCPNode) Instrument(reg *obs.Registry) { n.reg = reg }
+func (n *TCPNode) Instrument(reg *obs.Registry) {
+	if reg != nil {
+		n.reg.Store(reg)
+	}
+}
+
+// metrics returns the injected registry (nil disables accounting; the
+// obs API is nil-safe).
+func (n *TCPNode) metrics() *obs.Registry { return n.reg.Load() }
 
 var _ Endpoint = (*TCPNode)(nil)
 
 // ListenTCP starts a node listening on addr ("127.0.0.1:0" picks a free
-// port; use Addr to learn it).
-func ListenTCP(name, addr string) (*TCPNode, error) {
+// port; use Addr to learn it). An optional Options value configures
+// deadlines and the retry policy; omitted, the defaults apply.
+func ListenTCP(name, addr string, opts ...Options) (*TCPNode, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -72,8 +121,9 @@ func ListenTCP(name, addr string) (*TCPNode, error) {
 	n := &TCPNode{
 		name:     name,
 		listener: l,
-		peers:    make(map[string]string),
-		conns:    make(map[string]net.Conn),
+		opts:     o,
+		rng:      o.newRNG(),
+		peers:    make(map[string]*tcpPeer),
 		accepted: make(map[net.Conn]bool),
 		inbox:    make(chan Envelope, 1024),
 		closed:   make(chan struct{}),
@@ -95,17 +145,22 @@ func (n *TCPNode) Name() string { return n.name }
 // invocation) is re-dialed instead of written to over a dead socket.
 func (n *TCPNode) AddPeer(name, addr string) {
 	n.mu.Lock()
-	old, had := n.peers[name]
-	n.peers[name] = addr
-	var stale net.Conn
-	if had && old != addr {
-		stale = n.conns[name]
-		delete(n.conns, name)
+	p, ok := n.peers[name]
+	if !ok {
+		p = &tcpPeer{addr: addr}
+		n.peers[name] = p
 	}
 	n.mu.Unlock()
-	if stale != nil {
-		stale.Close()
-		n.reg.Gauge(MetricPeerConns, "peer", name).Dec()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.addr == addr {
+		return
+	}
+	p.addr = addr
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		n.metrics().Gauge(MetricPeerConns, "peer", name).Dec()
 	}
 }
 
@@ -117,14 +172,14 @@ func (n *TCPNode) acceptLoop() {
 			select {
 			case <-n.closed:
 			default:
-				n.reg.Counter(MetricAcceptErrors).Inc()
+				n.metrics().Counter(MetricAcceptErrors).Inc()
 			}
 			return // listener closed
 		}
 		n.mu.Lock()
 		n.accepted[conn] = true
 		n.mu.Unlock()
-		n.reg.Gauge(MetricAcceptedConns).Inc()
+		n.metrics().Gauge(MetricAcceptedConns).Inc()
 		n.wg.Add(1)
 		go n.readLoop(conn)
 	}
@@ -137,15 +192,15 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.mu.Lock()
 		delete(n.accepted, conn)
 		n.mu.Unlock()
-		n.reg.Gauge(MetricAcceptedConns).Dec()
+		n.metrics().Gauge(MetricAcceptedConns).Dec()
 	}()
 	for {
 		env, size, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		n.reg.Counter(MetricFrames, "dir", "in").Inc()
-		n.reg.Counter(MetricBytes, "dir", "in").Add(int64(size))
+		n.metrics().Counter(MetricFrames, "dir", "in").Inc()
+		n.metrics().Counter(MetricBytes, "dir", "in").Add(int64(size))
 		select {
 		case n.inbox <- env:
 		case <-n.closed:
@@ -154,42 +209,130 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	}
 }
 
-// Send dials (or reuses) the connection to the peer and writes one frame.
+// Send delivers one frame to the peer, dialing (or reusing) its
+// connection. A failed dial or write drops the connection and is retried
+// under the node's Options — bounded attempts, exponential backoff with
+// jitter, and a fresh dial per attempt — so one dead socket or flaky
+// accept does not surface as an error when the peer recovers in time.
+// Sends to unknown peers and sends on a closed node fail immediately.
 func (n *TCPNode) Send(to, kind string, payload []byte) error {
-	n.mu.Lock()
-	conn, ok := n.conns[to]
-	if !ok {
-		addr, known := n.peers[to]
-		if !known {
-			n.mu.Unlock()
-			return fmt.Errorf("%s: %w", to, ErrUnknownPeer)
-		}
-		var err error
-		conn, err = net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
-			n.mu.Unlock()
-			n.reg.Counter(MetricDialErrors, "peer", to).Inc()
-			return fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
-		}
-		n.conns[to] = conn
-		n.reg.Gauge(MetricPeerConns, "peer", to).Inc()
-	}
-	n.mu.Unlock()
-
-	env := Envelope{From: n.name, To: to, Kind: kind, Payload: payload}
-	size, err := writeFrame(conn, env)
+	frame, err := marshalFrame(Envelope{From: n.name, To: to, Kind: kind, Payload: payload})
 	if err != nil {
-		n.mu.Lock()
-		delete(n.conns, to)
-		n.mu.Unlock()
+		return fmt.Errorf("transport: encode frame to %s: %w", to, err)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= n.opts.Attempts; attempt++ {
+		if attempt > 1 {
+			n.metrics().Counter(MetricSendRetries, "peer", to).Inc()
+			if err := n.sleep(n.backoff(attempt - 1)); err != nil {
+				return err
+			}
+		}
+		err := n.sendOnce(to, frame, attempt > 1)
+		if err == nil {
+			n.metrics().Counter(MetricFrames, "dir", "out").Inc()
+			n.metrics().Counter(MetricBytes, "dir", "out").Add(int64(len(frame)))
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// sendOnce performs a single delivery attempt: resolve the peer, dial
+// under the peer's lock if no connection is cached, write the frame
+// under a deadline, and on failure evict the connection it was written
+// to (never a newer one another goroutine dialed — eviction happens
+// under the same per-peer lock the write held).
+func (n *TCPNode) sendOnce(to string, frame []byte, redial bool) error {
+	select {
+	case <-n.closed:
+		return ErrClosed
+	default:
+	}
+	n.mu.Lock()
+	p, known := n.peers[to]
+	n.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%s: %w", to, ErrUnknownPeer)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if redial {
+			n.metrics().Counter(MetricRedials, "peer", to).Inc()
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, n.opts.DialTimeout)
+		if err != nil {
+			n.metrics().Counter(MetricDialErrors, "peer", to).Inc()
+			return fmt.Errorf("transport: dial %s (%s): %w", to, p.addr, err)
+		}
+		select {
+		case <-n.closed:
+			// Closed while dialing: Close's sweep may already have run,
+			// so this connection is ours to release.
+			conn.Close()
+			return ErrClosed
+		default:
+		}
+		p.conn = conn
+		n.metrics().Gauge(MetricPeerConns, "peer", to).Inc()
+	}
+	conn := p.conn
+	if n.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	}
+	_, err := conn.Write(frame)
+	if err != nil {
 		conn.Close()
-		n.reg.Gauge(MetricPeerConns, "peer", to).Dec()
-		n.reg.Counter(MetricSendErrors, "peer", to).Inc()
+		p.conn = nil
+		n.metrics().Gauge(MetricPeerConns, "peer", to).Dec()
+		n.metrics().Counter(MetricSendErrors, "peer", to).Inc()
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			n.metrics().Counter(MetricWriteTimeouts, "peer", to).Inc()
+		}
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
-	n.reg.Counter(MetricFrames, "dir", "out").Inc()
-	n.reg.Counter(MetricBytes, "dir", "out").Add(int64(size))
+	if n.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
 	return nil
+}
+
+// backoff computes the jittered delay before retry n (1-based).
+func (n *TCPNode) backoff(attempt int) time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.opts.backoff(attempt, n.rng)
+}
+
+// sleep waits d or until the node closes.
+func (n *TCPNode) sleep(d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-n.closed:
+		return ErrClosed
+	}
+}
+
+// retryable reports whether a failed attempt is worth re-dialing:
+// transient dial and write failures are; unknown peers, closed nodes and
+// encoding failures are not.
+func retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrUnknownPeer), errors.Is(err, ErrClosed):
+		return false
+	}
+	return true
 }
 
 // Recv blocks for the next inbound envelope.
@@ -228,14 +371,16 @@ func (n *TCPNode) RecvContext(ctx context.Context) (Envelope, error) {
 	}
 }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down and waits for its goroutines. In-flight
+// Sends fail with ErrClosed (including those parked in a retry backoff).
 func (n *TCPNode) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.closed)
 		n.listener.Close()
 		n.mu.Lock()
-		for _, c := range n.conns {
-			c.Close()
+		peers := make([]*tcpPeer, 0, len(n.peers))
+		for _, p := range n.peers {
+			peers = append(peers, p)
 		}
 		// Close accepted connections too: their readLoops may be blocked
 		// mid-frame and must be unblocked before wg.Wait can return.
@@ -243,6 +388,16 @@ func (n *TCPNode) Close() error {
 			c.Close()
 		}
 		n.mu.Unlock()
+		// Peer locks are taken after the node lock is released (lock
+		// order: node, then peer; never both).
+		for _, p := range peers {
+			p.mu.Lock()
+			if p.conn != nil {
+				p.conn.Close()
+				p.conn = nil
+			}
+			p.mu.Unlock()
+		}
 	})
 	n.wg.Wait()
 	return nil
@@ -251,23 +406,18 @@ func (n *TCPNode) Close() error {
 // frame wire format: 4-byte big-endian length, then gob(Envelope).
 const maxFrame = 16 << 20
 
-// writeFrame writes one length-prefixed frame and reports its size on the
-// wire (header + body).
-func writeFrame(w io.Writer, env Envelope) (int, error) {
+// marshalFrame encodes one envelope into its on-wire frame (length
+// prefix + gob body). Encoding once up front lets Send retry the same
+// bytes without re-touching the caller's payload.
+func marshalFrame(env Envelope) ([]byte, error) {
 	var buf frameBuffer
+	buf.b = append(buf.b, 0, 0, 0, 0) // length prefix placeholder
 	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(env); err != nil {
-		return 0, err
+		return nil, err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(buf.b); err != nil {
-		return 0, err
-	}
-	return len(hdr) + len(buf.b), nil
+	binary.BigEndian.PutUint32(buf.b[:4], uint32(len(buf.b)-4))
+	return buf.b, nil
 }
 
 // readFrame reads one length-prefixed frame and reports its size on the

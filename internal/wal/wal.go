@@ -93,9 +93,13 @@ type Log struct {
 	// Append(wait=true) block until it reaches their record.
 	syncedSeq     uint64
 	syncScheduled bool
-	syncErr       error // sticky: after a failed fsync the log only errors
-	count         int   // records across snapshot + log
-	closed        bool
+	// flushTimer is the pending group-commit timer (nil when none is
+	// scheduled). Close stops it so the callback cannot fire against a
+	// closed file.
+	flushTimer *time.Timer
+	syncErr    error // sticky: after a failed fsync the log only errors
+	count      int   // records across snapshot + log
+	closed     bool
 }
 
 // Open opens (creating if needed) the write-ahead log in dir and returns
@@ -216,7 +220,7 @@ func (l *Log) Append(rec Record, wait bool) (uint64, error) {
 	default:
 		if !l.syncScheduled {
 			l.syncScheduled = true
-			time.AfterFunc(l.opts.BatchWindow, l.flush)
+			l.flushTimer = time.AfterFunc(l.opts.BatchWindow, l.flush)
 		}
 	}
 	if wait {
@@ -244,8 +248,20 @@ func (l *Log) fsyncLocked() {
 	} else {
 		l.syncedSeq = l.seq
 	}
-	l.syncScheduled = false
+	l.stopFlushTimer()
 	l.cond.Broadcast()
+}
+
+// stopFlushTimer cancels any pending group-commit timer and clears the
+// scheduling flag. Called with l.mu held. A callback that already fired
+// (Stop returns false) is safe: flush re-checks closed/synced state
+// under the lock before touching the file.
+func (l *Log) stopFlushTimer() {
+	if l.flushTimer != nil {
+		l.flushTimer.Stop()
+		l.flushTimer = nil
+	}
+	l.syncScheduled = false
 }
 
 // flush is the group-commit timer callback.
@@ -258,7 +274,7 @@ func (l *Log) flush() {
 	if l.syncedSeq < l.seq {
 		l.fsyncLocked()
 	} else {
-		l.syncScheduled = false
+		l.stopFlushTimer()
 	}
 }
 
@@ -275,7 +291,9 @@ func (l *Log) Sync() error {
 	return l.syncErr
 }
 
-// Close flushes pending records and closes the log file.
+// Close flushes pending records and closes the log file. A pending
+// group-commit timer is stopped (and its flush subsumed by the close-time
+// fsync) so the callback can never race the closed file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -285,6 +303,7 @@ func (l *Log) Close() error {
 	if l.syncErr == nil && !l.opts.NoSync && l.syncedSeq < l.seq {
 		l.fsyncLocked()
 	}
+	l.stopFlushTimer()
 	l.closed = true
 	l.cond.Broadcast()
 	err := l.f.Close()

@@ -339,3 +339,61 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatalf("append after close: %v, want ErrClosed", err)
 	}
 }
+
+// TestCloseUnderLoadStopsFlushTimer: closing a batch-windowed log while
+// appenders are in full flight must stop the pending group-commit timer
+// — the callback can never fire against the closed file — and settle
+// every straggler to ErrClosed. Run under -race this also proves the
+// timer/file handoff is clean.
+func TestCloseUnderLoadStopsFlushTimer(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{BatchWindow: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					_, err := l.Append(Record{Type: TypeAudit, Body: body("x")}, i%8 == 0)
+					if err != nil {
+						if err != ErrClosed && !strings.Contains(err.Error(), "closed") {
+							t.Errorf("append under close: %v", err)
+						}
+						return
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+		}
+		time.Sleep(5 * time.Millisecond) // appends and flush timers in flight
+		if err := l.Close(); err != nil {
+			t.Fatalf("close under load: %v", err)
+		}
+		close(stop)
+		wg.Wait()
+		// Give a leaked timer (the pre-fix behaviour) its chance to fire
+		// against the closed file before the next round reuses the path.
+		time.Sleep(3 * time.Millisecond)
+		if _, err := l.Append(Record{Type: TypeAudit, Body: body("late")}, true); err != ErrClosed {
+			t.Fatalf("append after close: %v, want ErrClosed", err)
+		}
+		// Everything acknowledged before Close must be recoverable.
+		l2, recs, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen after close-under-load: %v", err)
+		}
+		if len(recs) == 0 {
+			t.Fatal("no records survived close under load")
+		}
+		l2.Close()
+	}
+}

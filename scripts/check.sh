@@ -28,6 +28,9 @@ go test -race ./...
 echo "==> crash recovery under race (go test -race -run 'CrashRecovery|Recovery')"
 go test -race -run 'CrashRecovery|Recovery' ./internal/authz/ ./internal/daemon/
 
+echo "==> transport chaos under race (go test -race -count=2 -run Chaos ./internal/daemon/)"
+go test -race -count=2 -run Chaos ./internal/daemon/
+
 echo "==> bench smoke (go test -bench='Authorize|ForkScaling' -benchtime=1x)"
 go test -run '^$' -bench='Authorize|ForkScaling' -benchtime=1x .
 
