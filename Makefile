@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI gate (scripts/check.sh).
 
-.PHONY: check build test bench bench-authz bench-fork bench-wal fmt
+.PHONY: check build test bench bench-authz bench-fork bench-wal bench-repl fmt
 
 check:
 	sh scripts/check.sh
@@ -24,6 +24,11 @@ bench-fork:
 # Regenerates BENCH_wal.json (scripts/bench_wal.sh).
 bench-wal:
 	sh scripts/bench_wal.sh
+
+# Regenerates BENCH_repl.json (scripts/bench_repl.sh): follower-fleet
+# authorize throughput at 1/2/4 followers.
+bench-repl:
+	sh scripts/bench_repl.sh
 
 fmt:
 	gofmt -w .

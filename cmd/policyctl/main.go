@@ -12,6 +12,14 @@
 // denial taxonomy, and per-step latency histograms (count / mean / p50 /
 // p99). See docs/OPERATIONS.md for the metric catalog.
 //
+// Against a replicated fleet (see docs/REPLICATION.md), sign asks the
+// writer for a signed wire access request and authorize evaluates it on
+// a follower; replstatus reports a follower's replication position:
+//
+//	go run ./cmd/policyctl -server $WRITER   -cmd sign -signers carol -op read
+//	go run ./cmd/policyctl -server $FOLLOWER -cmd authorize -data "$SIGNED"
+//	go run ./cmd/policyctl -server $FOLLOWER -cmd replstatus
+//
 // The wal subcommand inspects a coalitiond data directory offline
 // (record counts per type, last epoch, corruption check) without going
 // through the daemon — run it on the daemon's host:
@@ -42,6 +50,7 @@ type Command struct {
 	Data    string   `json:"data,omitempty"`
 	Signers []string `json:"signers,omitempty"`
 	Domain  string   `json:"domain,omitempty"`
+	Op      string   `json:"op,omitempty"`
 }
 
 // Reply mirrors coalitiond's response type.
@@ -61,10 +70,11 @@ func main() {
 		return
 	}
 	server := flag.String("server", "127.0.0.1:7707", "coalitiond address")
-	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, stats, join, leave")
+	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, stats, join, leave, sign, authorize, replstatus")
 	group := flag.String("group", "", "group name (defaults per command)")
 	object := flag.String("object", "", "object name (default O)")
-	data := flag.String("data", "", "write payload")
+	data := flag.String("data", "", "write payload; for authorize, the signed request JSON from sign")
+	op := flag.String("op", "", "sign: permission the signed request asks for (default read)")
 	signers := flag.String("signers", "", "comma-separated co-signers")
 	domain := flag.String("domain", "", "domain for join/leave")
 	timeout := flag.Duration("timeout", 10*time.Second, "reply timeout")
@@ -80,6 +90,7 @@ func main() {
 		Data:    *data,
 		Signers: splitCSV(*signers),
 		Domain:  *domain,
+		Op:      *op,
 	}, *timeout, transport.Options{
 		DialTimeout: *dialTimeout,
 		Attempts:    *sendRetries,

@@ -18,6 +18,7 @@
 // a replayed revocation of G_write over {alice, bob} blocks a re-issued
 // certificate with brand-new keys — exactly the Requirement III
 // guarantee a restart must not forget.
+
 package authz
 
 import (
@@ -71,6 +72,64 @@ func (s *Server) SetJournal(j Journal) error {
 		}
 	}
 	s.journal.Store(&journalBox{j: j})
+	return nil
+}
+
+// Rejournal re-describes the server's live trust state in the journal
+// after a recovery that regenerated the signing authorities' keys (the
+// daemon's boot path). ReplayBeliefs keeps the fresh anchors and
+// re-applies the recovered belief mutations in memory — but the journal
+// still ends with the *old* anchors, so a ReplayExact consumer (a
+// replication follower, `policyctl wal -dump`) would reconstruct a
+// belief state keyed to authorities that no longer exist. Rejournal
+// closes that gap: when the last recorded anchors differ from the live
+// ones (compared by AA key fingerprint), it appends a fresh anchors
+// record at the live epoch followed by copies of the belief mutations
+// that survived recovery, so replaying the journal verbatim converges on
+// exactly the live state. Call it once, after Replay and SetJournal,
+// before serving; recovered is Replay's input.
+func (s *Server) Rejournal(recovered []wal.Record) error {
+	j := s.journalRef()
+	if j == nil {
+		return errors.New("authz: Rejournal before SetJournal")
+	}
+	if len(recovered) == 0 {
+		return nil
+	}
+	cut := -1
+	for i, r := range recovered {
+		if r.Type == wal.TypeAnchors {
+			cut = i
+		}
+	}
+	st := s.state.Load()
+	if cut >= 0 {
+		prev, _, err := decodeAnchors(recovered[cut].Body)
+		if err == nil && prev.AAKey.KeyID() == st.anchors.AAKey.KeyID() {
+			return nil // authorities survived the restart; the journal is already exact
+		}
+	}
+	now := s.clk.Now()
+	pending := make([]wal.Record, 0, len(recovered)-cut)
+	rec, err := anchorsRecord(st.anchors, st.epoch, now)
+	if err != nil {
+		return err
+	}
+	pending = append(pending, rec)
+	for i, r := range recovered {
+		if i <= cut {
+			continue // superseded by the recorded re-anchoring
+		}
+		switch r.Type {
+		case wal.TypeRevocation, wal.TypeIdentityRevocation, wal.TypeGroupLink:
+			pending = append(pending, wal.Record{Type: r.Type, At: now, Body: r.Body})
+		}
+	}
+	for i, r := range pending {
+		if _, err := j.Append(r, i == len(pending)-1); err != nil {
+			return fmt.Errorf("authz: rejournal %s: %w", r.Type, err)
+		}
+	}
 	return nil
 }
 

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"jointadmin"
+	"jointadmin/internal/acl"
 	"jointadmin/internal/authz"
 	"jointadmin/internal/jointsig"
 	"jointadmin/internal/obs"
+	"jointadmin/internal/replication"
 	"jointadmin/internal/transport"
 	"jointadmin/internal/wal"
 )
@@ -32,15 +34,19 @@ type Command struct {
 	// match late or duplicated replies to the command that caused them.
 	ID string `json:"id,omitempty"`
 	// Cmd selects the operation: write, read, revoke, audit, stats, join,
-	// leave.
+	// leave, sign (writers); authorize, audit, stats, replstatus
+	// (followers).
 	Cmd string `json:"cmd"`
 	// Group overrides the default group of the command (G_write for
 	// write/revoke, G_read for read).
 	Group string `json:"group,omitempty"`
 	// Object names the target object (default: the daemon's demo object).
 	Object string `json:"object,omitempty"`
-	// Data is the write payload.
+	// Data is the write payload (write, sign) or the JSON-encoded wire
+	// AccessRequest to evaluate (a follower's authorize command).
 	Data string `json:"data,omitempty"`
+	// Op is the permission a sign command requests (default "read").
+	Op string `json:"op,omitempty"`
 	// Signers are the co-signing users of a joint request.
 	Signers []string `json:"signers,omitempty"`
 	// Domain is the subject of join/leave.
@@ -104,6 +110,20 @@ type Config struct {
 	// wal.log exceeds this size. 0 selects the default (4 MiB); negative
 	// disables compaction.
 	CompactBytes int64
+
+	// Replicate enables the writer-side log shipper: followers that
+	// hello this daemon receive the WAL stream (docs/REPLICATION.md).
+	// Requires DataDir — replication ships the durable log.
+	Replicate bool
+	// ReplBatch bounds records per shipped frame (default 64).
+	ReplBatch int
+	// ReplHeartbeat is the idle status interval per follower stream
+	// (default 1s); it is the dominant term of the follower staleness
+	// bound.
+	ReplHeartbeat time.Duration
+	// ReplSnapshotEvery re-ships a full snapshot (including object
+	// state) after this many records per follower (default 4096).
+	ReplSnapshotEvery int
 }
 
 // Daemon metric names.
@@ -135,6 +155,13 @@ type Daemon struct {
 	wal          *wal.Log
 	compactBytes int64
 	keepAudit    int
+
+	// replicate enables the log shipper in Serve; the repl* fields tune
+	// it.
+	replicate         bool
+	replBatch         int
+	replHeartbeat     time.Duration
+	replSnapshotEvery int
 
 	// dyn gates coalition dynamics (revoke, join, leave — which rewrite
 	// alliance certificates and re-anchor the server) against the request
@@ -192,8 +219,13 @@ func New(cfg Config) (*Daemon, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Replicate && cfg.DataDir == "" {
+		return nil, fmt.Errorf("daemon: replication requires DataDir (the shipper streams the durable log)")
+	}
 	d := &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics,
-		workers: workers, transport: cfg.Transport}
+		workers: workers, transport: cfg.Transport,
+		replicate: cfg.Replicate, replBatch: cfg.ReplBatch,
+		replHeartbeat: cfg.ReplHeartbeat, replSnapshotEvery: cfg.ReplSnapshotEvery}
 	if cfg.DataDir != "" {
 		if err := d.openWAL(cfg); err != nil {
 			return nil, err
@@ -228,6 +260,14 @@ func (d *Daemon) openWAL(cfg Config) error {
 	if err := d.server.Authz().SetJournal(l); err != nil {
 		l.Close()
 		return fmt.Errorf("daemon: attach journal: %w", err)
+	}
+	// The authorities regenerated their keys this boot, so re-describe
+	// the live trust state for ReplayExact consumers (replication
+	// followers, wal -dump): without this, the journal would still end at
+	// the previous boot's anchors.
+	if err := d.server.Authz().Rejournal(recs); err != nil {
+		l.Close()
+		return fmt.Errorf("daemon: rejournal current state: %w", err)
 	}
 	d.wal = l
 	d.compactBytes = cfg.CompactBytes
@@ -379,6 +419,23 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		}
 		d.maybeCompact()
 		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
+	case "sign":
+		// Build (and co-sign) a wire AccessRequest without evaluating it:
+		// the caller submits it to replication followers via their
+		// authorize command. The daemon holds the demo users’ keys, so
+		// signing stays writer-side; followers never see private keys.
+		req, err := a.NewRequest(jointadmin.RequestSpec{
+			Group: group(cmd.Group, "G_read"), Op: opOf(cmd),
+			Object: d.objectOf(cmd), Payload: []byte(cmd.Data), Signers: cmd.Signers,
+		})
+		if err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return Reply{Detail: "encode request: " + err.Error()}, "internal"
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("signed %s request for %s", opOf(cmd), group(cmd.Group, "G_read")), Data: string(body)}, ""
 	case "audit":
 		return Reply{OK: true, Data: srv.Audit().Render()}, ""
 	case "stats":
@@ -431,6 +488,13 @@ func group(g, def string) string {
 	return g
 }
 
+func opOf(cmd Command) string {
+	if cmd.Op == "" {
+		return "read"
+	}
+	return cmd.Op
+}
+
 // commandNode is the transport surface Serve drives: receive commands,
 // learn reply addresses, send replies. *transport.TCPNode implements it;
 // tests supply fakes.
@@ -472,6 +536,25 @@ type outbound struct {
 func (d *Daemon) Serve(ctx context.Context, node commandNode) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var shipper *replication.Shipper
+	if d.replicate && d.wal != nil {
+		shipper = replication.NewShipper(d.wal, node, replication.ShipperOptions{
+			Batch:         d.replBatch,
+			Heartbeat:     d.replHeartbeat,
+			SnapshotEvery: d.replSnapshotEvery,
+			Metrics:       d.reg,
+			Logf:          log.Printf,
+			State: func() (uint64, uint64) {
+				sn := d.server.Authz().Snapshot()
+				return sn.Epoch, sn.Watermark
+			},
+			Objects: func() ([]acl.ObjectState, error) {
+				return d.server.Authz().Objects().Export()
+			},
+			Now: d.alliance.Clock().Now,
+		})
+		defer shipper.Close()
 	}
 	tasks := make(chan transport.Envelope)
 	replies := make(chan outbound, d.workers)
@@ -515,6 +598,14 @@ func (d *Daemon) Serve(ctx context.Context, node commandNode) error {
 				serveErr = err // transport failure
 			}
 			break
+		}
+		if replication.IsReplication(env.Kind) {
+			// Replication frames bypass the command pool: Handle only
+			// registers the follower and signals its stream goroutine.
+			if shipper != nil {
+				shipper.Handle(env.Kind, env.Payload)
+			}
+			continue
 		}
 		tasks <- env
 	}

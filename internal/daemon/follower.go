@@ -1,0 +1,279 @@
+// Follower role: a read-only daemon that mirrors a writer's belief
+// state over the replication protocol and serves authorization
+// decisions at its replayed watermark. A follower holds no keys and
+// accepts no dynamics — write/revoke/join/leave are rejected — so a
+// compromised or lagging follower can at worst serve stale reads, never
+// mint new authority. Clients obtain a signed wire AccessRequest from
+// the writer's `sign` command and evaluate it here with `authorize`.
+
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"jointadmin/internal/authz"
+	"jointadmin/internal/obs"
+	"jointadmin/internal/replication"
+	"jointadmin/internal/transport"
+)
+
+// FollowerConfig sets up a follower daemon.
+type FollowerConfig struct {
+	// Name is this follower's node name (default "follower"); every
+	// follower in a fleet needs a distinct one.
+	Name string
+	// Writer and WriterAddr name and locate the writer daemon
+	// (WriterAddr is the -follow flag; Writer defaults to "coalitiond").
+	Writer     string
+	WriterAddr string
+	// Workers bounds concurrent command handling (default GOMAXPROCS).
+	Workers int
+	// Metrics receives the follower's metrics (replication lag gauges,
+	// authz counters). Optional.
+	Metrics *obs.Registry
+	// Transport configures TCP resilience, as for the writer.
+	Transport transport.Options
+	// AuditRetention caps the replica's in-memory audit log.
+	AuditRetention int
+	// ResyncAfter is the writer-silence threshold before the follower
+	// re-hellos (default 3s). Lower it together with the writer's
+	// -repl-heartbeat to tighten the staleness bound.
+	ResyncAfter time.Duration
+}
+
+// Follower is a running read-only replica daemon.
+type Follower struct {
+	name    string
+	writer  string
+	reg     *obs.Registry
+	workers int
+	opts    transport.Options
+
+	applier *replication.Applier
+	cfg     FollowerConfig
+}
+
+// NewFollower validates the configuration; the applier is created at
+// Listen time, once the node (and its advertised address) exists.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.WriterAddr == "" {
+		return nil, errors.New("daemon: follower requires the writer's address (-follow)")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "follower"
+	}
+	if cfg.Writer == "" {
+		cfg.Writer = "coalitiond"
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Follower{name: cfg.Name, writer: cfg.Writer, reg: cfg.Metrics,
+		workers: workers, opts: cfg.Transport, cfg: cfg}, nil
+}
+
+// Listen opens the follower's TCP node on addr, registers the writer as
+// a peer, and builds the applier around the node.
+func (f *Follower) Listen(addr string) (*transport.TCPNode, error) {
+	node, err := transport.ListenTCP(f.name, addr, f.opts)
+	if err != nil {
+		return nil, err
+	}
+	node.Instrument(f.reg)
+	node.AddPeer(f.writer, f.cfg.WriterAddr)
+	f.applier = replication.NewApplier(node, replication.ApplierOptions{
+		Follower:       f.name,
+		Addr:           node.Addr(),
+		Writer:         f.writer,
+		ResyncAfter:    f.cfg.ResyncAfter,
+		AuditRetention: f.cfg.AuditRetention,
+		Metrics:        f.reg,
+		Logf:           log.Printf,
+	})
+	return node, nil
+}
+
+// Applier exposes the replication endpoint (tests, status).
+func (f *Follower) Applier() *replication.Applier { return f.applier }
+
+// Metrics returns the follower's injected registry.
+func (f *Follower) Metrics() *obs.Registry { return f.reg }
+
+// Serve answers commands and applies replication frames until the
+// context is canceled or the listener closes. The loop mirrors
+// Daemon.Serve — worker pool for commands, single reply sender — with
+// one difference: replication frames are applied inline in the receive
+// loop, preserving their arrival order (the protocol is sequential; the
+// Authorize path reads the replica through an atomic pointer and never
+// blocks on it).
+func (f *Follower) Serve(ctx context.Context, node commandNode) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if f.applier == nil {
+		return errors.New("daemon: follower Serve before Listen")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var applierWG sync.WaitGroup
+	applierWG.Add(1)
+	go func() {
+		defer applierWG.Done()
+		f.applier.Run(runCtx)
+	}()
+	defer applierWG.Wait()
+
+	tasks := make(chan transport.Envelope)
+	replies := make(chan outbound, f.workers)
+
+	var senderWG sync.WaitGroup
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		for out := range replies {
+			if out.addr != "" {
+				node.AddPeer(out.to, out.addr)
+			}
+			if err := node.Send(out.to, "reply", out.body); err != nil {
+				log.Printf("follower: reply to %s: %v", out.to, err)
+			}
+		}
+	}()
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < f.workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for env := range tasks {
+				f.serveOne(ctx, env, replies)
+			}
+		}()
+	}
+
+	var serveErr error
+	for {
+		env, err := node.RecvContext(ctx)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				serveErr = err
+			case errors.Is(err, transport.ErrClosed):
+				serveErr = nil
+			default:
+				f.reg.Counter(MetricServeErrors).Inc()
+				serveErr = err
+			}
+			break
+		}
+		if replication.IsReplication(env.Kind) {
+			f.applier.Handle(env.Kind, env.Payload)
+			continue
+		}
+		tasks <- env
+	}
+	close(tasks)
+	workerWG.Wait()
+	close(replies)
+	senderWG.Wait()
+	return serveErr
+}
+
+// serveOne decodes, handles and answers a single command.
+func (f *Follower) serveOne(ctx context.Context, env transport.Envelope, replies chan<- outbound) {
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var cmd Command
+	reply := Reply{}
+	if err := json.Unmarshal(env.Payload, &cmd); err != nil {
+		reply.Detail = "bad command: " + err.Error()
+	} else {
+		reply = f.Handle(reqCtx, cmd)
+		reply.ID = cmd.ID
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		log.Printf("follower: encode reply: %v", err)
+		return
+	}
+	replies <- outbound{to: env.From, addr: returnAddr(env.Kind), body: body}
+}
+
+// Handle executes one follower command with the writer-side metric
+// vocabulary (daemon_commands_total etc.), so fleet dashboards aggregate
+// across roles.
+func (f *Follower) Handle(ctx context.Context, cmd Command) Reply {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	inflight := f.reg.Gauge(MetricInflight)
+	inflight.Inc()
+	defer inflight.Dec()
+	start := time.Now()
+	reply, errKind := f.handle(ctx, cmd)
+	f.reg.Counter(MetricCommands, "cmd", cmd.Cmd).Inc()
+	f.reg.Histogram(MetricCommandSeconds, nil, "cmd", cmd.Cmd).ObserveSince(start)
+	if !reply.OK {
+		if errKind == "" {
+			errKind = "internal"
+		}
+		f.reg.Counter(MetricCommandErrors, "cmd", cmd.Cmd, "kind", errKind).Inc()
+	}
+	return reply
+}
+
+// handle dispatches one follower command.
+func (f *Follower) handle(ctx context.Context, cmd Command) (Reply, string) {
+	switch cmd.Cmd {
+	case "authorize":
+		rep := f.applier.Replica()
+		if rep == nil {
+			return Reply{Detail: "follower not caught up (no replica installed yet)"}, "not_ready"
+		}
+		var req authz.AccessRequest
+		if err := json.Unmarshal([]byte(cmd.Data), &req); err != nil {
+			return Reply{Detail: "bad access request: " + err.Error()}, "bad_request"
+		}
+		dec, err := rep.Srv.Authorize(ctx, req)
+		if err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		st := f.applier.Status()
+		detail := fmt.Sprintf("approved via %s [%s] at epoch %d watermark %d",
+			dec.Group, dec.RequestID, st.Epoch, st.Watermark)
+		return Reply{OK: true, Detail: detail, Data: string(dec.Data)}, ""
+	case "audit":
+		rep := f.applier.Replica()
+		if rep == nil {
+			return Reply{Detail: "follower not caught up"}, "not_ready"
+		}
+		return Reply{OK: true, Data: rep.Audit.Render()}, ""
+	case "stats":
+		if f.reg == nil {
+			return Reply{Detail: "metrics not enabled (start coalitiond with -metrics-addr)"}, "no_metrics"
+		}
+		body, err := json.Marshal(f.reg.Snapshot())
+		if err != nil {
+			return Reply{Detail: "encode snapshot: " + err.Error()}, "internal"
+		}
+		return Reply{OK: true, Data: string(body)}, ""
+	case "replstatus":
+		body, err := json.Marshal(f.applier.Status())
+		if err != nil {
+			return Reply{Detail: "encode status: " + err.Error()}, "internal"
+		}
+		return Reply{OK: true, Data: string(body)}, ""
+	case "write", "read", "revoke", "join", "leave", "sign":
+		return Reply{Detail: "read-only follower: " + cmd.Cmd + " must go to the writer"}, "read_only"
+	default:
+		return Reply{Detail: "unknown command " + cmd.Cmd}, "unknown_command"
+	}
+}

@@ -409,6 +409,17 @@ func (s Snapshot) Merge(o Snapshot) (Snapshot, error) {
 	return out, nil
 }
 
+// GaugeValue returns the named gauge's value in the snapshot (0 when
+// absent). The name must be the full identity including labels.
+func (s Snapshot) GaugeValue(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // CounterValue returns the named counter's value in the snapshot (0 when
 // absent). The name must be the full identity including labels.
 func (s Snapshot) CounterValue(name string) int64 {

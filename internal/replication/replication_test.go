@@ -1,0 +1,580 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jointadmin"
+	"jointadmin/internal/obs"
+	"jointadmin/internal/wal"
+)
+
+// fakeNode records every frame an Applier or Shipper sends, standing in
+// for the TCP transport.
+type fakeNode struct {
+	mu    sync.Mutex
+	peers map[string]string
+	sent  []sentFrame
+}
+
+type sentFrame struct {
+	to, kind string
+	payload  []byte
+}
+
+func newFakeNode() *fakeNode { return &fakeNode{peers: map[string]string{}} }
+
+func (n *fakeNode) AddPeer(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = addr
+}
+
+func (n *fakeNode) Send(to, kind string, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent = append(n.sent, sentFrame{to: to, kind: kind, payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+// kinds returns the kinds of all frames sent so far.
+func (n *fakeNode) kinds() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.sent))
+	for i, f := range n.sent {
+		out[i] = f.kind
+	}
+	return out
+}
+
+// countKind counts sent frames of one kind.
+func (n *fakeNode) countKind(kind string) int {
+	c := 0
+	for _, k := range n.kinds() {
+		if k == kind {
+			c++
+		}
+	}
+	return c
+}
+
+// waitKind polls until at least want frames of kind were sent.
+func (n *fakeNode) waitKind(t *testing.T, kind string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.countKind(kind) >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no %d frame(s) of kind %s within deadline (sent: %v)", want, kind, n.kinds())
+}
+
+// writerFixture is a real writer: an alliance with a journaling server,
+// so tests ship genuine WAL records and genuine signed requests.
+type writerFixture struct {
+	a   *jointadmin.Alliance
+	srv *jointadmin.Server
+	log *wal.Log
+}
+
+var (
+	writerOnce sync.Once
+	writerVal  *writerFixture
+	writerErr  error
+	writerDir  string
+)
+
+// newWriter builds the shared writer fixture once (512-bit keys keep the
+// crypto under a second). Tests that mutate beliefs append to the shared
+// WAL; they must tolerate records left by earlier tests, which the
+// sequence-cursor protocol does by construction.
+func newWriter(t *testing.T) *writerFixture {
+	t.Helper()
+	writerOnce.Do(func() { writerVal, writerErr = buildWriter() })
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	return writerVal
+}
+
+func buildWriter() (*writerFixture, error) {
+	a, err := jointadmin.NewAlliance("AA", []string{"D1", "D2"}, jointadmin.WithKeyBits(512))
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range []string{"alice", "bob"} {
+		d := "D1"
+		if u == "bob" {
+			d = "D2"
+		}
+		if err := a.EnrollUser(d, u); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.GrantThreshold("G_read", 1, "alice", "bob"); err != nil {
+		return nil, err
+	}
+	if err := a.GrantThreshold("G_write", 2, "alice", "bob"); err != nil {
+		return nil, err
+	}
+	srv, err := a.NewServer("P")
+	if err != nil {
+		return nil, err
+	}
+	err = srv.CreateObject("O", map[string][]string{
+		"G_read":  {"read"},
+		"G_write": {"write"},
+	}, []byte("genome v1"))
+	if err != nil {
+		return nil, err
+	}
+	l, _, err := wal.Open(writerDir, wal.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Authz().SetJournal(l); err != nil {
+		return nil, err
+	}
+	return &writerFixture{a: a, srv: srv, log: l}, nil
+}
+
+func TestMain(m *testing.M) {
+	// The shared writer's WAL needs a directory that outlives any single
+	// test; TestMain owns it.
+	dir, err := os.MkdirTemp("", "repltest")
+	if err != nil {
+		panic(err)
+	}
+	writerDir = dir
+	code := m.Run()
+	if writerVal != nil {
+		writerVal.log.Close()
+	}
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// mutate appends exactly one WAL record on the writer: grant a throwaway
+// group (grants are coalition state, never journaled) and revoke it (one
+// TypeRevocation record on the server).
+func (w *writerFixture) mutate(t *testing.T, tag string) {
+	t.Helper()
+	g := "G_" + tag
+	if err := w.a.GrantThreshold(g, 1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.a.Revoke(g, w.srv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotFrom captures the writer's current state as the wire snapshot
+// message the shipper would send.
+func snapshotFrom(t *testing.T, w *writerFixture) snapshotMsg {
+	t.Helper()
+	recs, head, err := w.log.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := wal.EncodeFrames(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := w.srv.Authz().Objects().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq uint64
+	if n := len(recs); n > 0 {
+		lastSeq = recs[n-1].Seq
+	}
+	st := w.srv.Authz().Snapshot()
+	return snapshotMsg{Frames: frames, LastSeq: lastSeq, Objects: objs,
+		Head: head, Epoch: st.Epoch, Watermark: st.Watermark, Clock: w.a.Clock().Now()}
+}
+
+// recordsFrom captures the writer's tail past a cursor as the wire
+// records message.
+func recordsFrom(t *testing.T, w *writerFixture, after uint64) recordsMsg {
+	t.Helper()
+	recs, err := w.log.ReadFrom(after, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := wal.EncodeFrames(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recordsMsg{Frames: frames, Head: w.log.Seq(), Clock: w.a.Clock().Now()}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newTestApplier(node Node, reg *obs.Registry) *Applier {
+	return NewApplier(node, ApplierOptions{
+		Follower: "f1", Addr: "127.0.0.1:0", Writer: "coalitiond",
+		Metrics: reg,
+	})
+}
+
+// TestApplierFreshFromSnapshot installs a replica from a snapshot handoff
+// alone and serves a real signed request against it.
+func TestApplierFreshFromSnapshot(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	snap := snapshotFrom(t, w)
+	ap.Handle(KindSnapshot, mustJSON(t, snap))
+
+	rep := ap.Replica()
+	if rep == nil {
+		t.Fatal("no replica after snapshot handoff")
+	}
+	st := ap.Status()
+	if !st.Ready || st.LastSeq != snap.LastSeq || st.Snapshots != 1 {
+		t.Fatalf("status after install: %+v", st)
+	}
+	wst := w.srv.Authz().Snapshot()
+	if st.Epoch != wst.Epoch || st.Watermark != wst.Watermark {
+		t.Fatalf("replica at epoch %d watermark %d, writer at %d/%d",
+			st.Epoch, st.Watermark, wst.Epoch, wst.Watermark)
+	}
+	// The replica holds the object and approves a writer-signed request.
+	if _, err := rep.Objects.Read("O"); err != nil {
+		t.Fatalf("replica object store missing O: %v", err)
+	}
+	req, err := w.a.NewRequest(jointadmin.RequestSpec{
+		Group: "G_read", Op: "read", Object: "O", Signers: []string{"alice"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rep.Srv.Authorize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("replica denied a valid request: %v", err)
+	}
+	if string(dec.Data) != "genome v1" {
+		t.Fatalf("replica read wrong content: %q", dec.Data)
+	}
+	if reg.Snapshot().CounterValue(MetricSnapshotsInstalled) != 1 {
+		t.Fatal("snapshot install not counted")
+	}
+}
+
+// TestApplierPartialTail advances an installed replica with a shipped WAL
+// tail: a revocation performed on the writer after the handoff becomes
+// visible (denied) on the follower once the tail applies.
+func TestApplierPartialTail(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	if err := w.a.GrantThreshold("G_tail", 1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	ap.Handle(KindSnapshot, mustJSON(t, snapshotFrom(t, w)))
+	cursor := ap.Status().LastSeq
+
+	// Mutate the writer past the handoff: revoke the group, then ship
+	// only the tail.
+	if err := w.a.Revoke("G_tail", w.srv); err != nil {
+		t.Fatal(err)
+	}
+	ap.Handle(KindRecords, mustJSON(t, recordsFrom(t, w, cursor)))
+
+	st := ap.Status()
+	if st.LastSeq != w.log.Seq() || st.Lag != 0 {
+		t.Fatalf("follower at seq %d lag %d, writer head %d", st.LastSeq, st.Lag, w.log.Seq())
+	}
+	wst := w.srv.Authz().Snapshot()
+	if st.Epoch != wst.Epoch || st.Watermark != wst.Watermark {
+		t.Fatalf("after tail: follower %d/%d, writer %d/%d", st.Epoch, st.Watermark, wst.Epoch, wst.Watermark)
+	}
+	// The revocation shipped in the tail is enforced here.
+	req, err := w.a.NewRequest(jointadmin.RequestSpec{
+		Group: "G_tail", Op: "read", Object: "O", Signers: []string{"alice"}})
+	if err == nil {
+		if _, aerr := ap.Replica().Srv.Authorize(context.Background(), req); aerr == nil {
+			t.Fatal("revoked group still authorized on follower")
+		}
+	}
+}
+
+// TestApplierRestartMidStream models a follower restart: a fresh applier
+// has no replica, rejects a tail batch (hello full=true), and converges
+// again after the snapshot handoff the hello provokes.
+func TestApplierRestartMidStream(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	// Tail records arrive first (the writer still thinks the old
+	// incarnation's cursor is live): the fresh applier must not apply
+	// them — it lacks the object store — and must ask for a full handoff.
+	ap.Handle(KindRecords, mustJSON(t, recordsFrom(t, w, 0)))
+	if ap.Replica() != nil {
+		t.Fatal("replica built from tail records alone")
+	}
+	if got := node.countKind(KindHello); got != 1 {
+		t.Fatalf("expected 1 recovery hello, got %d", got)
+	}
+	var h helloMsg
+	if err := json.Unmarshal(node.sent[len(node.sent)-1].payload, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Full {
+		t.Fatal("recovery hello after restart should request a full snapshot")
+	}
+	// The handoff the hello provokes restores service.
+	ap.Handle(KindSnapshot, mustJSON(t, snapshotFrom(t, w)))
+	if ap.Replica() == nil || !ap.Status().Ready {
+		t.Fatal("replica not restored by snapshot handoff")
+	}
+	if ap.Status().LastSeq != w.log.Seq() {
+		t.Fatalf("restarted follower at %d, writer at %d", ap.Status().LastSeq, w.log.Seq())
+	}
+}
+
+// TestApplierCorruptFrameFailsClosed flips one byte in a shipped batch:
+// the applier must reject the whole frame, keep its replica state, count
+// the error and resync — never apply a partially trusted record.
+func TestApplierCorruptFrameFailsClosed(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	ap.Handle(KindSnapshot, mustJSON(t, snapshotFrom(t, w)))
+	cursor := ap.Status().LastSeq
+
+	w.mutate(t, "corrupt")
+	msg := recordsFrom(t, w, cursor)
+	msg.Frames[len(msg.Frames)/2] ^= 0xff
+	helloBefore := node.countKind(KindHello)
+	ap.Handle(KindRecords, mustJSON(t, msg))
+
+	if got := ap.Status().LastSeq; got != cursor {
+		t.Fatalf("corrupt frame advanced cursor: %d -> %d", cursor, got)
+	}
+	if reg.Snapshot().CounterValue(MetricApplyErrors) == 0 {
+		t.Fatal("corrupt frame not counted as apply error")
+	}
+	if node.countKind(KindHello) != helloBefore+1 {
+		t.Fatal("corrupt frame did not trigger a resync hello")
+	}
+	// The intact retransmission (what the resync provokes) applies fine.
+	ap.Handle(KindRecords, mustJSON(t, recordsFrom(t, w, cursor)))
+	if ap.Status().LastSeq != w.log.Seq() {
+		t.Fatal("retransmission after corruption did not apply")
+	}
+}
+
+// TestApplierGapAndDuplicate pins the sequence discipline: duplicated
+// batches are shed as stale, a gap forces a resync instead of a silent
+// skip.
+func TestApplierGapAndDuplicate(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	ap.Handle(KindSnapshot, mustJSON(t, snapshotFrom(t, w)))
+	cursor := ap.Status().LastSeq
+	w.mutate(t, "gap")
+	tail := recordsFrom(t, w, cursor)
+	ap.Handle(KindRecords, mustJSON(t, tail))
+	applied := ap.Status().LastSeq
+
+	// Duplicate delivery: shed, not re-applied.
+	ap.Handle(KindRecords, mustJSON(t, tail))
+	if ap.Status().LastSeq != applied {
+		t.Fatal("duplicate batch changed the cursor")
+	}
+	if reg.Snapshot().CounterValue(MetricStaleFrames) == 0 {
+		t.Fatal("duplicate batch not counted stale")
+	}
+
+	// Gap: ship records starting past lastSeq+1.
+	w.mutate(t, "gap2a")
+	w.mutate(t, "gap2b")
+	gap := recordsFrom(t, w, applied+1) // skips the record at applied+1
+	helloBefore := node.countKind(KindHello)
+	errsBefore := reg.Snapshot().CounterValue(MetricApplyErrors)
+	ap.Handle(KindRecords, mustJSON(t, gap))
+	if ap.Status().LastSeq != applied {
+		t.Fatal("gapped batch applied")
+	}
+	if node.countKind(KindHello) != helloBefore+1 {
+		t.Fatal("gap did not trigger a resync hello")
+	}
+	if reg.Snapshot().CounterValue(MetricApplyErrors) != errsBefore+1 {
+		t.Fatal("gap not counted as apply error")
+	}
+}
+
+// TestLagMetricsMonotoneAndReset drives the lag gauge through a fall-
+// behind / catch-up cycle: status heartbeats with a rising head push
+// repl_lag_records monotonically up; applying the missing records resets
+// it to zero (and repl_last_seq never regresses).
+func TestLagMetricsMonotoneAndReset(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	ap := newTestApplier(node, reg)
+
+	ap.Handle(KindSnapshot, mustJSON(t, snapshotFrom(t, w)))
+	base := ap.Status().LastSeq
+	if got := reg.Snapshot().GaugeValue(MetricLagRecords); got != 0 {
+		t.Fatalf("lag after full install = %d, want 0", got)
+	}
+
+	var prevLag int64
+	for i := uint64(1); i <= 3; i++ {
+		ap.Handle(KindStatus, mustJSON(t, statusMsg{Head: base + i}))
+		lag := reg.Snapshot().GaugeValue(MetricLagRecords)
+		if lag < prevLag {
+			t.Fatalf("lag regressed while falling behind: %d after %d", lag, prevLag)
+		}
+		if lag != int64(i) {
+			t.Fatalf("lag after head %d = %d, want %d", base+i, lag, i)
+		}
+		prevLag = lag
+	}
+	// A delayed heartbeat with an older head must not shrink the lag.
+	ap.Handle(KindStatus, mustJSON(t, statusMsg{Head: base + 1}))
+	if got := reg.Snapshot().GaugeValue(MetricLagRecords); got != prevLag {
+		t.Fatalf("stale heartbeat moved lag: %d -> %d", prevLag, got)
+	}
+
+	// Catch up for real: make the advertised heads real, then ship the
+	// tail.
+	lastSeqBefore := reg.Snapshot().GaugeValue(MetricLastSeq)
+	for i := 0; w.log.Seq() < base+3; i++ {
+		w.mutate(t, fmt.Sprintf("lag%d", i))
+	}
+	ap.Handle(KindRecords, mustJSON(t, recordsFrom(t, w, base)))
+	snap := reg.Snapshot()
+	if got := snap.GaugeValue(MetricLagRecords); got != 0 {
+		t.Fatalf("lag after catch-up = %d, want 0", got)
+	}
+	if got := snap.GaugeValue(MetricLastSeq); got < lastSeqBefore {
+		t.Fatalf("repl_last_seq regressed: %d -> %d", lastSeqBefore, got)
+	}
+	if got := snap.GaugeValue(MetricLastSeq); uint64(got) != w.log.Seq() {
+		t.Fatalf("repl_last_seq = %d, writer head %d", got, w.log.Seq())
+	}
+}
+
+// TestShipperSnapshotHandoffAndTail drives the writer side with a fake
+// node: a full hello gets a snapshot whose LastSeq matches the log head,
+// an up-to-date follower gets tail records on append, and idle streams
+// heartbeat.
+func TestShipperSnapshotHandoffAndTail(t *testing.T) {
+	w := newWriter(t)
+	node := newFakeNode()
+	reg := obs.NewRegistry()
+	sh := NewShipper(w.log, node, ShipperOptions{
+		Batch: 8, Heartbeat: 50 * time.Millisecond,
+		State: func() (uint64, uint64) {
+			st := w.srv.Authz().Snapshot()
+			return st.Epoch, st.Watermark
+		},
+		Objects: w.srv.Authz().Objects().Export,
+		Metrics: reg,
+		Logf:    t.Logf,
+	})
+	defer sh.Close()
+
+	sh.Handle(KindHello, mustJSON(t, helloMsg{Follower: "f1", Addr: "127.0.0.1:9", Full: true}))
+	node.waitKind(t, KindSnapshot, 1)
+	var snap snapshotMsg
+	for _, f := range node.sent {
+		if f.kind == KindSnapshot {
+			if err := json.Unmarshal(f.payload, &snap); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if snap.LastSeq == 0 || snap.LastSeq > w.log.Seq() {
+		t.Fatalf("snapshot LastSeq %d vs writer head %d", snap.LastSeq, w.log.Seq())
+	}
+	recs, _, torn, corrupt := wal.Scan(snap.Frames)
+	if corrupt != nil || torn != "" {
+		t.Fatalf("shipped snapshot frames damaged: %v %q", corrupt, torn)
+	}
+	if recs[len(recs)-1].Seq != snap.LastSeq {
+		t.Fatalf("snapshot boundary: frames end at %d, declared %d", recs[len(recs)-1].Seq, snap.LastSeq)
+	}
+	hasObject := false
+	for _, o := range snap.Objects {
+		if o.Name == "O" {
+			hasObject = true
+		}
+	}
+	if !hasObject {
+		t.Fatal("snapshot handoff missing object O")
+	}
+
+	// A caught-up stream heartbeats...
+	node.waitKind(t, KindStatus, 1)
+	// ...and ships new appends as tail records from exactly LastSeq+1.
+	w.mutate(t, "ship")
+	node.waitKind(t, KindRecords, 1)
+	var rm recordsMsg
+	for _, f := range node.sent {
+		if f.kind == KindRecords {
+			if err := json.Unmarshal(f.payload, &rm); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	tail, _, _, _ := wal.Scan(rm.Frames)
+	if len(tail) == 0 || tail[0].Seq != snap.LastSeq+1 {
+		t.Fatalf("first shipped tail seq = %v, want %d", tail, snap.LastSeq+1)
+	}
+	if reg.Snapshot().CounterValue(MetricSnapshotsShipped+`{follower="f1"}`) == 0 {
+		t.Fatal("snapshot ship not counted")
+	}
+	if reg.Snapshot().GaugeValue(MetricFollowers) != 1 {
+		t.Fatal("follower stream not gauged")
+	}
+}
+
+// TestIsReplication pins the routing predicate the daemon serve loops
+// rely on.
+func TestIsReplication(t *testing.T) {
+	for _, k := range []string{KindHello, KindSnapshot, KindRecords, KindStatus} {
+		if !IsReplication(k) {
+			t.Fatalf("IsReplication(%q) = false", k)
+		}
+		if !strings.HasPrefix(k, "repl.") {
+			t.Fatalf("kind %q outside the repl. namespace", k)
+		}
+	}
+	for _, k := range []string{"cmd", "reply", "cmd@127.0.0.1:1", ""} {
+		if IsReplication(k) {
+			t.Fatalf("IsReplication(%q) = true", k)
+		}
+	}
+}

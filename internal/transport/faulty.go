@@ -7,6 +7,7 @@
 // reproducible in ordinary tests instead of waiting for a flaky network.
 // The wrapper sits above the wire: a dropped Send reports success to the
 // caller, exactly like a frame lost after the kernel buffered it.
+
 package transport
 
 import (

@@ -2,6 +2,7 @@
 // subcommand and operator tooling: record counts per type, last epoch,
 // and an integrity verdict, without opening the log for writing or
 // truncating a torn tail.
+
 package wal
 
 import (

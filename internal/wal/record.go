@@ -9,6 +9,7 @@
 // short by a crash leaves a torn final frame — a short header or a short
 // payload — which Scan distinguishes from mid-log corruption (a complete
 // frame whose checksum or encoding is wrong).
+
 package wal
 
 import (

@@ -7,6 +7,7 @@
 // either the old snapshot (rename not reached) or the new one; log
 // records the new snapshot already covers are skipped at Open by their
 // sequence numbers.
+
 package wal
 
 import (
@@ -158,6 +159,9 @@ func (l *Log) Compact(reduce func([]Record) []Record) error {
 	}
 	l.off = 0
 	l.count = len(all)
+	// The log file is empty now; contiguous tail reads are only possible
+	// for records appended after this point.
+	l.tailFloor = l.seq
 	l.reg.Counter(MetricCompactions).Inc()
 	return nil
 }

@@ -100,6 +100,16 @@ type Log struct {
 	syncErr    error // sticky: after a failed fsync the log only errors
 	count      int   // records across snapshot + log
 	closed     bool
+
+	// tailFloor is the lowest sequence number from which the live log
+	// file is guaranteed to hold a contiguous record suffix: records at
+	// or below it live only in the snapshot (or were dropped by a
+	// compaction reducer). ReadFrom refuses cursors below it with
+	// ErrCompacted — the caller must fall back to History.
+	tailFloor uint64
+	// notify is closed (and replaced lazily) on every append, waking
+	// tail-followers blocked in NotifyAppend. nil until someone asks.
+	notify chan struct{}
 }
 
 // Open opens (creating if needed) the write-ahead log in dir and returns
@@ -175,6 +185,7 @@ func Open(dir string, opts Options) (*Log, []Record, error) {
 		seq:       last,
 		syncedSeq: last,
 		count:     len(all),
+		tailFloor: snap.LastSeq,
 	}
 	l.cond = sync.NewCond(&l.mu)
 	for _, r := range all {
@@ -211,6 +222,7 @@ func (l *Log) Append(rec Record, wait bool) (uint64, error) {
 	l.off += int64(len(frame))
 	l.count++
 	l.reg.Counter(MetricAppends, "type", string(rec.Type)).Inc()
+	l.wakeFollowersLocked()
 
 	switch {
 	case l.opts.NoSync:
@@ -306,6 +318,7 @@ func (l *Log) Close() error {
 	l.stopFlushTimer()
 	l.closed = true
 	l.cond.Broadcast()
+	l.wakeFollowersLocked()
 	err := l.f.Close()
 	if l.syncErr != nil {
 		return l.syncErr

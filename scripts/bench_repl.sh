@@ -1,0 +1,65 @@
+#!/bin/sh
+# Runs the replicated-read-fleet benchmark (BenchmarkFollowerFleet:
+# aggregate authorize throughput against 1, 2 and 4 followers, each
+# behind a modeled WAN link) and writes BENCH_repl.json at the repo
+# root: req/s per fleet size plus the derived scaling factors. See
+# docs/BENCHMARKS.md for how to read the numbers, docs/REPLICATION.md
+# for the deployment shape being measured.
+#
+#   scripts/bench_repl.sh [benchtime]   (default 200x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-200x}"
+OUT="BENCH_repl.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench BenchmarkFollowerFleet -benchtime $BENCHTIME ./internal/daemon"
+go test -run '^$' -bench 'BenchmarkFollowerFleet' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/daemon | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+# The daemon logs interleave with the bench output, so the sub-benchmark
+# name and its result can land on different lines: remember the name,
+# attach the next req/s metric to it.
+/^BenchmarkFollowerFleet\// {
+    cur = $1
+    sub(/^BenchmarkFollowerFleet\/followers-/, "", cur)
+    sub(/-[0-9]+$/, "", cur)   # strip -GOMAXPROCS suffix, when present
+}
+/req\/s/ {
+    if (cur != "") {
+        for (i = 2; i <= NF; i++) if ($i == "req/s") rps[cur] = $(i - 1)
+        cur = ""
+    }
+}
+END {
+    r1 = rps["1"]; r2 = rps["2"]; r4 = rps["4"]
+    if (r1 == "" || r2 == "" || r4 == "") {
+        print "bench_repl: missing benchmark results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"aggregate authorize throughput of a replicated read fleet (1/2/4 followers, closed-loop clients, modeled WAN link)\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"req_per_sec\": {\n"
+    printf "    \"followers_1\": %.1f,\n", r1
+    printf "    \"followers_2\": %.1f,\n", r2
+    printf "    \"followers_4\": %.1f\n", r4
+    printf "  },\n"
+    printf "  \"scaling\": {\n"
+    printf "    \"x2_vs_x1\": %.2f,\n", r2 / r1
+    printf "    \"x4_vs_x1\": %.2f,\n", r4 / r1
+    printf "    \"ideal_x2\": 2.0,\n"
+    printf "    \"ideal_x4\": 4.0\n"
+    printf "  },\n"
+    printf "  \"notes\": \"Each follower sits behind a fault-injected link adding a uniform random inbound delay (up to 4ms) that models WAN latency, and serves one closed-loop client (one request in flight per follower). Requests spend most of their wall time on the link, so followers overlap that waiting and aggregate throughput grows with fleet size until the host CPU saturates on signature verification — which is why x4_vs_x1 lands below the ideal 4.0 on small hosts (this run used the CPU above; the writer, every follower and every client share it, so the in-flight evaluations also contend with each other). The scaling factors, not the absolute req/s, are the portable result: they bound how much read capacity each added follower buys before the paper-protocol evaluation cost itself becomes the ceiling.\"\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

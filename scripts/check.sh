@@ -28,7 +28,9 @@ go test -race ./...
 echo "==> crash recovery under race (go test -race -run 'CrashRecovery|Recovery')"
 go test -race -run 'CrashRecovery|Recovery' ./internal/authz/ ./internal/daemon/
 
-echo "==> transport chaos under race (go test -race -count=2 -run Chaos ./internal/daemon/)"
+echo "==> transport + replication chaos under race (go test -race -count=2 -run Chaos ./internal/daemon/)"
+# Matches TestChaosJoinRequestRevokeRequest (single daemon) and
+# TestChaosReplicatedFleet (writer + two followers over Faulty links).
 go test -race -count=2 -run Chaos ./internal/daemon/
 
 echo "==> bench smoke (go test -bench='Authorize|ForkScaling' -benchtime=1x)"
@@ -36,5 +38,27 @@ go test -run '^$' -bench='Authorize|ForkScaling' -benchtime=1x .
 
 echo "==> bench smoke (go test -bench=WALAppend -benchtime=1x ./internal/wal)"
 go test -run '^$' -bench=WALAppend -benchtime=1x ./internal/wal
+
+echo "==> bench smoke (go test -bench=FollowerFleet -benchtime=1x ./internal/daemon)"
+go test -run '^$' -bench=FollowerFleet -benchtime=1x ./internal/daemon
+
+echo "==> docs lint (every CLI flag and replication metric documented)"
+fail=0
+flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z][a-z0-9-]*"' cmd/coalitiond/main.go cmd/policyctl/main.go |
+    sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
+for f in $flags; do
+    if ! grep -rq -- "-$f" docs/; then
+        echo "docs lint: flag -$f (cmd/) not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+metrics=$(grep -ohE '"repl_[a-z_]+"' internal/replication/*.go | tr -d '"' | sort -u)
+for m in $metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: replication metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
 
 echo "OK"
