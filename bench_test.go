@@ -248,7 +248,11 @@ func benchWriteRequest(b *testing.B, d *benchDeployment) AccessRequest {
 }
 
 // BenchmarkAuthorizeSerial is the baseline: signature verification forced
-// serial (parallelism 1), one request at a time.
+// serial (parallelism 1), one request at a time. The cold and warm series
+// pin the full derivation replay (residuals disabled) so they stay
+// comparable across PRs; the residual series is the same warm workload
+// decided on the precompiled fast path — its gap to warm is the payoff of
+// residual compilation on one harness run.
 func BenchmarkAuthorizeSerial(b *testing.B) {
 	d := deployment(b)
 	req := benchWriteRequest(b, d)
@@ -256,6 +260,7 @@ func BenchmarkAuthorizeSerial(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-serial-cold")
 		srv.Authz().SetVerifyParallelism(1)
+		srv.Authz().SetResidualsEnabled(false)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -269,7 +274,21 @@ func BenchmarkAuthorizeSerial(b *testing.B) {
 	b.Run("warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-serial-warm")
 		srv.Authz().SetVerifyParallelism(1)
+		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Request(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("residual", func(b *testing.B) {
+		srv := benchServer(b, d, "Pb-serial-residual")
+		srv.Authz().SetVerifyParallelism(1)
+		if _, err := srv.Request(ctx, req); err != nil { // warm the cache
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -291,6 +310,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 	ctx := context.Background()
 	b.Run("fanout-warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-fanout-warm")
+		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {
 			b.Fatal(err)
 		}
@@ -308,6 +328,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			srv := benchServer(b, d, "Pb-concurrent-cold")
 			srv.Authz().SetVerifyParallelism(1)
+			srv.Authz().SetResidualsEnabled(false)
 			for pb.Next() {
 				d.a.Reanchor(srv)
 				if _, err := srv.Request(ctx, req); err != nil {
@@ -319,6 +340,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 	b.Run("concurrent-warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-concurrent-warm")
 		srv.Authz().SetVerifyParallelism(1)
+		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {
 			b.Fatal(err)
 		}

@@ -1,15 +1,18 @@
 // Command logicproof prints the authorization-protocol derivations of
 // Section 4.3 / Appendix E as numbered proof traces: the Figure 2(b)
-// write flow (2-of-3), the Figure 2(d) read flow (1-of-3), and the
-// revocation reasoning.
+// write flow (2-of-3), the Figure 2(d) read flow (1-of-3), the
+// revocation reasoning, and the residual flow (the same joint write
+// decided twice — first by the full replay, then on the precompiled
+// residual fast path — to show the two proofs coincide).
 //
 // It can also parse and echo formulas in the logic's canonical syntax:
 //
-//	go run ./cmd/logicproof [-flow write|read|revoke]
+//	go run ./cmd/logicproof [-flow write|read|revoke|residual]
 //	go run ./cmd/logicproof -parse 'User_D1|Ku1 ⇒_[t50,t5000],AA Group(G_write)'
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,7 +24,7 @@ import (
 )
 
 func main() {
-	flow := flag.String("flow", "write", "derivation to print: write, read, or revoke")
+	flow := flag.String("flow", "write", "derivation to print: write, read, revoke, or residual")
 	parse := flag.String("parse", "", "parse a formula in canonical syntax and echo its structure")
 	flag.Parse()
 	if *parse != "" {
@@ -119,8 +122,39 @@ func run(flow string) error {
 		fmt.Println("longer be obtained for t ≥ t8, so the same joint request is DENIED:")
 		fmt.Printf("  %v\n", err)
 		printSnapshot(srv)
+	case "residual":
+		fmt.Println("Residual compilation: the same joint write decided twice.")
+		fmt.Println("First decision replays the full Section 4.3 derivation (cold")
+		fmt.Println("certificate cache); the second runs the residual checklist")
+		fmt.Println("compiled at snapshot publish — recorded invariant steps spliced")
+		fmt.Println("with fresh request-variable leaf checks. The proofs coincide.")
+		fmt.Println()
+		req, err := a.NewRequest(jointadmin.RequestSpec{
+			Group: "G_write", Op: "write", Object: "O",
+			Payload: []byte("new content"), Signers: []string{"User_D1", "User_D2"},
+		})
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		replayed, err := srv.Request(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println("--- first decision (full replay) ---")
+		fmt.Println(replayed.Proof.String())
+		printTrace(srv, replayed.RequestID)
+		residual, err := srv.Request(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("--- second decision (residual fast path) ---")
+		fmt.Println(residual.Proof.String())
+		printTrace(srv, residual.RequestID)
+		printSnapshot(srv)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown flow %q (want write, read, or revoke)\n", flow)
+		fmt.Fprintf(os.Stderr, "unknown flow %q (want write, read, revoke, or residual)\n", flow)
 		os.Exit(2)
 	}
 	return nil

@@ -8,6 +8,15 @@
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd stats
 //	go run ./cmd/policyctl -server 127.0.0.1:7707 -cmd join -domain D4
 //
+// mutate applies one belief mutation through the server's unified
+// Apply path, selected by -op — one verb per mutation variant:
+//
+//	go run ./cmd/policyctl -server $W -cmd mutate -op link -group G_sub -data G_write
+//	go run ./cmd/policyctl -server $W -cmd mutate -op revoke -group G_write
+//	go run ./cmd/policyctl -server $W -cmd mutate -op revoke-identity -data alice
+//	go run ./cmd/policyctl -server $W -cmd mutate -op crl
+//	go run ./cmd/policyctl -server $W -cmd mutate -op reanchor
+//
 // stats pretty-prints the daemon's metrics snapshot: command counters,
 // denial taxonomy, and per-step latency histograms (count / mean / p50 /
 // p99). See docs/OPERATIONS.md for the metric catalog.
@@ -70,11 +79,11 @@ func main() {
 		return
 	}
 	server := flag.String("server", "127.0.0.1:7707", "coalitiond address")
-	cmd := flag.String("cmd", "audit", "command: write, read, revoke, audit, stats, join, leave, sign, authorize, replstatus")
+	cmd := flag.String("cmd", "audit", "command: write, read, revoke, mutate, audit, stats, join, leave, sign, authorize, replstatus")
 	group := flag.String("group", "", "group name (defaults per command)")
 	object := flag.String("object", "", "object name (default O)")
 	data := flag.String("data", "", "write payload; for authorize, the signed request JSON from sign")
-	op := flag.String("op", "", "sign: permission the signed request asks for (default read)")
+	op := flag.String("op", "", "sign: permission the signed request asks for (default read); mutate: mutation verb (link, revoke, revoke-identity, crl, reanchor)")
 	signers := flag.String("signers", "", "comma-separated co-signers")
 	domain := flag.String("domain", "", "domain for join/leave")
 	timeout := flag.Duration("timeout", 10*time.Second, "reply timeout")

@@ -30,7 +30,6 @@ import (
 	"math/big"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"jointadmin/internal/acl"
 	"jointadmin/internal/audit"
@@ -39,7 +38,6 @@ import (
 	"jointadmin/internal/obs"
 	"jointadmin/internal/pki"
 	"jointadmin/internal/sharedrsa"
-	"jointadmin/internal/wal"
 )
 
 // Sentinel errors.
@@ -157,6 +155,9 @@ type Server struct {
 	reqSeq atomic.Uint64
 	// parallelism bounds the per-request signature-verification fan-out.
 	parallelism int
+	// noResidual, when set, bypasses the precompiled-residue fast path
+	// (SetResidualsEnabled).
+	noResidual atomic.Bool
 
 	// mu serializes belief-mutating operations; Authorize never takes it.
 	mu sync.Mutex
@@ -178,10 +179,12 @@ func NewServer(name string, clk *clock.Clock, anchors TrustAnchors, objects *acl
 		log:         log,
 		parallelism: defaultParallelism(),
 	}
+	eng := freshEngine(name, clk, anchors)
 	s.state.Store(&state{
-		anchors: anchors,
-		eng:     freshEngine(name, clk, anchors),
-		cache:   newCertCache(),
+		anchors:  anchors,
+		eng:      eng,
+		cache:    newCertCache(),
+		residues: s.compileResiduals(eng),
 	})
 	return s
 }
@@ -300,6 +303,14 @@ func ctxErr(err error) bool {
 // evaluation is traced: each protocol step becomes a timed span in the
 // audit entry, correlated by the decision's RequestID.
 //
+// Authorize first attempts the precompiled residual checklist for the
+// requested (object, group) pair (residual.go): the snapshot-invariant
+// proof steps were recorded at publish time, so only the
+// request-variable leaf checks run, and the full proof is emitted by
+// splicing. When no residue applies — unknown object, cold certificate
+// cache, unsupported membership shape, or residuals disabled — it falls
+// back to the full derivation replay below.
+//
 // Authorize is lock-free and safe for arbitrary concurrency: it evaluates
 // against the belief snapshot current at entry. The context cancels the
 // evaluation between steps and inside the signature-verification fan-out.
@@ -308,6 +319,12 @@ func (s *Server) Authorize(ctx context.Context, req AccessRequest) (Decision, er
 		ctx = context.Background()
 	}
 	st := s.state.Load()
+	if !s.noResidual.Load() {
+		if dec, err, ok := s.tryResidual(ctx, st, &req); ok {
+			return dec, err
+		}
+		s.reg.Counter(MetricResidualFallbacks).Inc()
+	}
 	eng := st.eng.Fork()
 	now := s.clk.Now()
 	tr := s.beginTrace()
@@ -401,24 +418,7 @@ func (s *Server) Authorize(ctx context.Context, req AccessRequest) (Decision, er
 
 	// Execute.
 	tr.begin(StepExecute)
-	var data []byte
-	switch op {
-	case acl.Read:
-		data, err = s.objects.Read(object)
-	case acl.Write:
-		err = s.objects.Write(object, req.Requests[0].Payload, group)
-	case acl.Modify:
-		var entries []acl.Entry
-		if err = json.Unmarshal(req.Requests[0].Payload, &entries); err == nil {
-			var newACL *acl.ACL
-			newACL, err = acl.NewACL(entries...)
-			if err == nil {
-				err = s.objects.SetACL(object, newACL, group)
-			}
-		}
-	default:
-		err = fmt.Errorf("unsupported operation %q", op)
-	}
+	data, err := s.execute(op, object, req.Requests[0].Payload, group)
 	if err != nil {
 		return s.deny(tr, &req, group, "execution failed: "+err.Error(), eng.Proof())
 	}
@@ -544,6 +544,7 @@ func (s *Server) verifyMembership(st *state, eng *logic.Engine, req *AccessReque
 	} else {
 		c := req.Threshold.Cert
 		out.group, issuer = c.Group, c.Issuer
+		issuedTo = fmt.Sprintf("CP(%d,%d)", c.M, len(c.Subjects))
 		out.boundKey = make(map[string]string, len(c.Subjects))
 		for _, sub := range c.Subjects {
 			out.boundKey[sub.Name] = sub.KeyID
@@ -708,141 +709,4 @@ func fold(b []byte) uint32 {
 		h *= 16777619
 	}
 	return h
-}
-
-// ProcessGroupLink verifies a privilege-inheritance certificate from the
-// AA and records the derived "Sub ⇒ Sup" belief in a new snapshot; members
-// of Sub then pass Step 4 against ACL entries naming Sup.
-func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
-	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
-		now := s.clk.Now()
-		if link.Cert.Issuer != cur.anchors.AAName {
-			return nil, fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
-		}
-		if err := pki.VerifyGroupLink(link, cur.anchors.AAKey, now); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
-		}
-		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
-		if !ok {
-			return nil, fmt.Errorf("%w: no key belief for AA", ErrDenied)
-		}
-		if _, _, err := eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
-			return nil, fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
-		}
-		return certRecord(wal.TypeGroupLink, link, now)
-	})
-}
-
-// ProcessIdentityRevocation verifies an identity revocation from one of
-// the trusted domain CAs and withdraws the key binding: requests signed
-// with the revoked key are denied from the effective time on (identity
-// revocation per Stubblebine–Wright, which the paper defers to). The
-// snapshot swap discards every cached certificate verification.
-func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) (err error) {
-	defer func(start time.Time) { s.observeRevocation("identity", start, err) }(time.Now())
-	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
-		caKey, ok := cur.anchors.CAKeys[rev.Cert.Issuer]
-		if !ok {
-			return nil, fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
-		}
-		if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
-		}
-		now := s.clk.Now()
-		neg := logic.Not{F: logic.KeySpeaksFor{
-			K:   logic.KeyID(rev.Cert.KeyID),
-			T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
-			Who: logic.P(rev.Cert.Subject),
-		}}
-		step := eng.Proof().Append(logic.RuleRevocation, nil, neg, now,
-			fmt.Sprintf("identity key of %s revoked by %s effective %s",
-				rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
-		eng.Store().Add(neg, now, step)
-		eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
-		return certRecord(wal.TypeIdentityRevocation, rev, now)
-	})
-	if err != nil {
-		return err
-	}
-	s.audit(audit.Entry{
-		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
-		Requestor: rev.Cert.Issuer,
-		Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
-	})
-	return nil
-}
-
-// ProcessCRL verifies a signed revocation list and feeds every entry into
-// the belief store — the "most recent available revocation information"
-// refresh of Section 4.3. It returns how many entries were newly recorded.
-func (s *Server) ProcessCRL(crl pki.SignedCRL) (applied int, err error) {
-	defer func(start time.Time) { s.observeRevocation("crl", start, err) }(time.Now())
-	anchors := s.state.Load().anchors
-	var issuerKey sharedrsa.PublicKey
-	switch crl.CRL.Issuer {
-	case anchors.RAName:
-		issuerKey = anchors.RAKey
-	case anchors.AAName:
-		issuerKey = anchors.AAKey
-	default:
-		return 0, fmt.Errorf("%w: CRL from untrusted issuer %s", ErrDenied, crl.CRL.Issuer)
-	}
-	if err := pki.VerifyCRL(crl, issuerKey); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrDenied, err)
-	}
-	for _, rev := range crl.CRL.Entries {
-		already := s.state.Load().eng.Store().Revoked(
-			pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M), logic.G(rev.Cert.Group), s.clk.Now())
-		if already {
-			continue
-		}
-		if err := s.ProcessRevocation(rev); err != nil {
-			return applied, fmt.Errorf("CRL entry for %s: %w", rev.Cert.Group, err)
-		}
-		applied++
-	}
-	return applied, nil
-}
-
-// ProcessRevocation verifies a revocation certificate (from the RA or the
-// AA itself) and records the negative belief in a new snapshot; subsequent
-// derivations for the revoked membership fail (believe-until-revoked), and
-// every cached certificate verification is discarded with the old
-// snapshot.
-func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) (err error) {
-	defer func(start time.Time) { s.observeRevocation("membership", start, err) }(time.Now())
-	var trace string
-	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
-		var issuerKey sharedrsa.PublicKey
-		switch rev.Cert.Issuer {
-		case cur.anchors.RAName:
-			issuerKey = cur.anchors.RAKey
-		case cur.anchors.AAName:
-			issuerKey = cur.anchors.AAKey
-		default:
-			return nil, fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
-		}
-		if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
-		}
-		keyBelief, ok := eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
-		if !ok {
-			return nil, fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
-		}
-		if _, _, err := eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
-			return nil, fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
-		}
-		trace = eng.Proof().String()
-		return certRecord(wal.TypeRevocation, rev, s.clk.Now())
-	})
-	if err != nil {
-		return err
-	}
-	s.audit(audit.Entry{
-		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
-		Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
-		Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
-		ProofTrace: trace,
-	})
-	return nil
 }

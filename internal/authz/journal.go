@@ -317,7 +317,7 @@ func (s *Server) Replay(recs []wal.Record, policy ReplayPolicy) (ReplayReport, e
 		case wal.TypeAnchors:
 			rep.Anchors++
 			if policy == ReplayExact {
-				err = s.replayAnchors(r)
+				err = s.replayMutation(r)
 			}
 		case wal.TypeRevocation:
 			if superseded {
@@ -325,21 +325,21 @@ func (s *Server) Replay(recs []wal.Record, policy ReplayPolicy) (ReplayReport, e
 				continue
 			}
 			rep.Revocations++
-			err = s.replayRevocation(r)
+			err = s.replayMutation(r)
 		case wal.TypeIdentityRevocation:
 			if superseded {
 				rep.Skipped++
 				continue
 			}
 			rep.IdentityRevocations++
-			err = s.replayIdentityRevocation(r)
+			err = s.replayMutation(r)
 		case wal.TypeGroupLink:
 			if superseded {
 				rep.Skipped++
 				continue
 			}
 			rep.GroupLinks++
-			err = s.replayGroupLink(r)
+			err = s.replayMutation(r)
 		case wal.TypeAudit:
 			rep.AuditEntries++
 			var e audit.Entry
@@ -358,26 +358,22 @@ func (s *Server) Replay(recs []wal.Record, policy ReplayPolicy) (ReplayReport, e
 	return rep, nil
 }
 
-// replayAnchors reinstalls a recorded trust-anchor set at its recorded
-// epoch (ReplayExact).
-func (s *Server) replayAnchors(r wal.Record) error {
-	anchors, epoch, err := decodeAnchors(r.Body)
+// replayMutation decodes a record into its Mutation variant and applies
+// it with replay semantics — the journal-recovery leg of the unified
+// mutation choke point (mutation.go).
+func (s *Server) replayMutation(r wal.Record) error {
+	m, err := mutationOf(r)
 	if err != nil {
 		return err
 	}
-	s.restoreAt(anchors, epoch)
-	return nil
+	return s.applyReplayed(m, r)
 }
 
 // replayRevocation re-records a membership revocation's negative belief,
-// mirroring the derivation engine.ProcessRevocation ran live (the
+// mirroring the derivation the live applyRevocation ran (the
 // certificate was verified then; signatures are not re-checked on
 // replay).
-func (s *Server) replayRevocation(r wal.Record) error {
-	rev, err := pki.Unmarshal[pki.Revocation](r.Body)
-	if err != nil {
-		return err
-	}
+func (s *Server) replayRevocation(rev pki.Signed[pki.Revocation], r wal.Record) error {
 	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		sub := pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M)
 		g := logic.G(rev.Cert.Group)
@@ -392,12 +388,8 @@ func (s *Server) replayRevocation(r wal.Record) error {
 }
 
 // replayIdentityRevocation withdraws a recorded key binding, mirroring
-// ProcessIdentityRevocation's direct application.
-func (s *Server) replayIdentityRevocation(r wal.Record) error {
-	rev, err := pki.Unmarshal[pki.IdentityRevocation](r.Body)
-	if err != nil {
-		return err
-	}
+// applyIdentityRevocation's direct application.
+func (s *Server) replayIdentityRevocation(rev pki.Signed[pki.IdentityRevocation], r wal.Record) error {
 	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		neg := logic.Not{F: logic.KeySpeaksFor{
 			K:   logic.KeyID(rev.Cert.KeyID),
@@ -415,11 +407,7 @@ func (s *Server) replayIdentityRevocation(r wal.Record) error {
 
 // replayGroupLink re-records an accepted privilege-inheritance belief,
 // mirroring the A3 localization the live derivation concluded with.
-func (s *Server) replayGroupLink(r wal.Record) error {
-	link, err := pki.Unmarshal[pki.GroupLink](r.Body)
-	if err != nil {
-		return err
-	}
+func (s *Server) replayGroupLink(link pki.Signed[pki.GroupLink], r wal.Record) error {
 	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
 		f := logic.GroupSpeaksFor{
 			Sub: logic.G(link.Cert.Sub),

@@ -1,0 +1,356 @@
+// The unified mutation API: every operation that changes the server's
+// belief state — group links, membership and identity revocations, CRLs,
+// re-anchoring — is a Mutation variant applied through Server.Apply.
+// Apply is the single choke point in front of the snapshot publish, so
+// journaling, metrics, audit and the residual compile stage run
+// identically no matter where a mutation originates: a live delivery,
+// the daemon, a WAL replay on recovery, or a replication follower
+// (whose Applier feeds shipped records through the same variants via
+// Replay). The legacy Process*/Reanchor entry points survive as thin
+// deprecated wrappers.
+
+package authz
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"jointadmin/internal/audit"
+	"jointadmin/internal/logic"
+	"jointadmin/internal/pki"
+	"jointadmin/internal/sharedrsa"
+	"jointadmin/internal/wal"
+)
+
+// Wire verbs, one per Mutation variant. The daemon's "mutate" command
+// and policyctl's -op flag dispatch on these; scripts/check.sh enforces
+// that every verb is exposed and documented.
+const (
+	VerbGroupLink          = "link"
+	VerbRevocation         = "revoke"
+	VerbIdentityRevocation = "revoke-identity"
+	VerbCRL                = "crl"
+	VerbReanchor           = "reanchor"
+)
+
+// Verbs lists every mutation verb, in the order the variants are
+// declared.
+var Verbs = []string{VerbGroupLink, VerbRevocation, VerbIdentityRevocation, VerbCRL, VerbReanchor}
+
+// Mutation is one belief-state change, applied via Server.Apply. The
+// sum is closed: exactly the five variants below exist.
+type Mutation interface {
+	// Verb returns the variant's wire verb.
+	Verb() string
+}
+
+// GroupLink submits a privilege-inheritance certificate from the AA;
+// members of Sub then pass Step 4 against ACL entries naming Sup.
+type GroupLink struct {
+	Cert pki.Signed[pki.GroupLink]
+}
+
+// IdentityRevocation withdraws a user key binding, per a revocation
+// certificate from one of the trusted domain CAs.
+type IdentityRevocation struct {
+	Cert pki.Signed[pki.IdentityRevocation]
+}
+
+// CRL submits a signed revocation list; every entry not yet believed
+// revoked is applied as a Revocation.
+type CRL struct {
+	List pki.SignedCRL
+}
+
+// Revocation withdraws a group membership, per a revocation certificate
+// from the RA or the AA itself.
+type Revocation struct {
+	Cert pki.Signed[pki.Revocation]
+}
+
+// Reanchor replaces the server's trust anchors — the re-anchoring a
+// coalition rekey (Join/Leave) requires — bumping the key epoch and
+// rebuilding the belief set.
+type Reanchor struct {
+	Anchors TrustAnchors
+	// epoch and exact carry a replayed anchors record's recorded epoch
+	// (restore semantics); live re-anchorings leave them zero.
+	epoch uint64
+	exact bool
+}
+
+func (GroupLink) Verb() string          { return VerbGroupLink }
+func (IdentityRevocation) Verb() string { return VerbIdentityRevocation }
+func (CRL) Verb() string                { return VerbCRL }
+func (Revocation) Verb() string         { return VerbRevocation }
+func (Reanchor) Verb() string           { return VerbReanchor }
+
+// Apply verifies and applies one belief mutation, publishing a new
+// snapshot (journaled first when a journal is attached) with recompiled
+// residual checklists and a fresh certificate cache. It is the single
+// entry point for belief changes; the Process*/Reanchor methods are
+// deprecated wrappers around it.
+func (s *Server) Apply(ctx context.Context, m Mutation) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	switch v := m.(type) {
+	case GroupLink:
+		return s.applyGroupLink(v.Cert)
+	case IdentityRevocation:
+		return s.applyIdentityRevocation(v.Cert)
+	case CRL:
+		_, err := s.applyCRL(v.List)
+		return err
+	case Revocation:
+		return s.applyRevocation(v.Cert)
+	case Reanchor:
+		if v.exact {
+			s.restoreAt(v.Anchors, v.epoch)
+			return nil
+		}
+		return s.applyReanchor(v.Anchors)
+	case nil:
+		return fmt.Errorf("authz: nil mutation")
+	default:
+		return fmt.Errorf("authz: unsupported mutation %T", m)
+	}
+}
+
+// ProcessGroupLink verifies a privilege-inheritance certificate from the
+// AA and records the derived "Sub ⇒ Sup" belief in a new snapshot.
+//
+// Deprecated: use Apply with a GroupLink mutation.
+func (s *Server) ProcessGroupLink(link pki.Signed[pki.GroupLink]) error {
+	return s.Apply(context.Background(), GroupLink{Cert: link})
+}
+
+// ProcessIdentityRevocation verifies an identity revocation from one of
+// the trusted domain CAs and withdraws the key binding.
+//
+// Deprecated: use Apply with an IdentityRevocation mutation.
+func (s *Server) ProcessIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) error {
+	return s.Apply(context.Background(), IdentityRevocation{Cert: rev})
+}
+
+// ProcessCRL verifies a signed revocation list and feeds every entry
+// into the belief store, returning how many were newly recorded.
+//
+// Deprecated: use Apply with a CRL mutation (callers that need the
+// applied-entry count may keep using this wrapper).
+func (s *Server) ProcessCRL(crl pki.SignedCRL) (int, error) {
+	return s.applyCRL(crl)
+}
+
+// ProcessRevocation verifies a revocation certificate and records the
+// negative belief in a new snapshot.
+//
+// Deprecated: use Apply with a Revocation mutation.
+func (s *Server) ProcessRevocation(rev pki.Signed[pki.Revocation]) error {
+	return s.Apply(context.Background(), Revocation{Cert: rev})
+}
+
+// Reanchor replaces the server's trust anchors.
+//
+// Deprecated: use Apply with a Reanchor mutation.
+func (s *Server) Reanchor(anchors TrustAnchors) error {
+	return s.Apply(context.Background(), Reanchor{Anchors: anchors})
+}
+
+// applyGroupLink verifies and applies a GroupLink mutation; members of
+// Sub then pass Step 4 against ACL entries naming Sup.
+func (s *Server) applyGroupLink(link pki.Signed[pki.GroupLink]) error {
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		now := s.clk.Now()
+		if link.Cert.Issuer != cur.anchors.AAName {
+			return nil, fmt.Errorf("%w: group link from untrusted issuer %s", ErrDenied, link.Cert.Issuer)
+		}
+		if err := pki.VerifyGroupLink(link, cur.anchors.AAKey, now); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
+		if !ok {
+			return nil, fmt.Errorf("%w: no key belief for AA", ErrDenied)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeGroupLink(link), aaBelief); err != nil {
+			return nil, fmt.Errorf("%w: group link derivation failed: %v", ErrDenied, err)
+		}
+		return certRecord(wal.TypeGroupLink, link, now)
+	})
+}
+
+// applyIdentityRevocation verifies and applies an IdentityRevocation
+// mutation: requests signed with the revoked key are denied from the
+// effective time on (identity revocation per Stubblebine–Wright, which
+// the paper defers to). The snapshot swap discards every cached
+// certificate verification.
+func (s *Server) applyIdentityRevocation(rev pki.Signed[pki.IdentityRevocation]) (err error) {
+	defer func(start time.Time) { s.observeRevocation("identity", start, err) }(time.Now())
+	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		caKey, ok := cur.anchors.CAKeys[rev.Cert.Issuer]
+		if !ok {
+			return nil, fmt.Errorf("%w: identity revocation from untrusted CA %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if err := pki.VerifyIdentityRevocation(rev, caKey); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		now := s.clk.Now()
+		neg := logic.Not{F: logic.KeySpeaksFor{
+			K:   logic.KeyID(rev.Cert.KeyID),
+			T:   logic.At(rev.Cert.EffectiveAt).On(rev.Cert.Issuer),
+			Who: logic.P(rev.Cert.Subject),
+		}}
+		step := eng.Proof().Append(logic.RuleRevocation, nil, neg, now,
+			fmt.Sprintf("identity key of %s revoked by %s effective %s",
+				rev.Cert.Subject, rev.Cert.Issuer, rev.Cert.EffectiveAt))
+		eng.Store().Add(neg, now, step)
+		eng.Store().RevokeKey(logic.KeyID(rev.Cert.KeyID), rev.Cert.EffectiveAt)
+		return certRecord(wal.TypeIdentityRevocation, rev, now)
+	})
+	if err != nil {
+		return err
+	}
+	s.audit(audit.Entry{
+		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+		Requestor: rev.Cert.Issuer,
+		Reason:    fmt.Sprintf("identity key of %s revoked effective %s", rev.Cert.Subject, rev.Cert.EffectiveAt),
+	})
+	return nil
+}
+
+// applyCRL verifies a signed revocation list and feeds every entry into
+// the belief store — the "most recent available revocation information"
+// refresh of Section 4.3. It returns how many entries were newly
+// recorded.
+func (s *Server) applyCRL(crl pki.SignedCRL) (applied int, err error) {
+	defer func(start time.Time) { s.observeRevocation("crl", start, err) }(time.Now())
+	anchors := s.state.Load().anchors
+	var issuerKey sharedrsa.PublicKey
+	switch crl.CRL.Issuer {
+	case anchors.RAName:
+		issuerKey = anchors.RAKey
+	case anchors.AAName:
+		issuerKey = anchors.AAKey
+	default:
+		return 0, fmt.Errorf("%w: CRL from untrusted issuer %s", ErrDenied, crl.CRL.Issuer)
+	}
+	if err := pki.VerifyCRL(crl, issuerKey); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	for _, rev := range crl.CRL.Entries {
+		already := s.state.Load().eng.Store().Revoked(
+			pki.SubjectOf(rev.Cert.Subjects, rev.Cert.M), logic.G(rev.Cert.Group), s.clk.Now())
+		if already {
+			continue
+		}
+		if err := s.applyRevocation(rev); err != nil {
+			return applied, fmt.Errorf("CRL entry for %s: %w", rev.Cert.Group, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// applyRevocation verifies a revocation certificate (from the RA or the
+// AA itself) and records the negative belief in a new snapshot;
+// subsequent derivations for the revoked membership fail
+// (believe-until-revoked), and every cached certificate verification is
+// discarded with the old snapshot.
+func (s *Server) applyRevocation(rev pki.Signed[pki.Revocation]) (err error) {
+	defer func(start time.Time) { s.observeRevocation("membership", start, err) }(time.Now())
+	var trace string
+	err = s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		var issuerKey sharedrsa.PublicKey
+		switch rev.Cert.Issuer {
+		case cur.anchors.RAName:
+			issuerKey = cur.anchors.RAKey
+		case cur.anchors.AAName:
+			issuerKey = cur.anchors.AAKey
+		default:
+			return nil, fmt.Errorf("%w: revocation from untrusted issuer %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if err := pki.VerifyRevocation(rev, issuerKey); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		keyBelief, ok := eng.Store().KeyFor(rev.Cert.Issuer, s.clk.Now())
+		if !ok {
+			return nil, fmt.Errorf("%w: no key belief for issuer %s", ErrDenied, rev.Cert.Issuer)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeRevocation(rev), keyBelief); err != nil {
+			return nil, fmt.Errorf("%w: revocation derivation failed: %v", ErrDenied, err)
+		}
+		trace = eng.Proof().String()
+		return certRecord(wal.TypeRevocation, rev, s.clk.Now())
+	})
+	if err != nil {
+		return err
+	}
+	s.audit(audit.Entry{
+		At: s.clk.Now(), Outcome: audit.RevocationRecorded, Server: s.name,
+		Requestor: rev.Cert.Issuer, Group: rev.Cert.Group,
+		Reason:     fmt.Sprintf("membership revoked effective %s", rev.Cert.EffectiveAt),
+		ProofTrace: trace,
+	})
+	return nil
+}
+
+// mutationOf decodes a belief-mutation WAL record into its Mutation
+// variant, so replay flows through the same sum type as live traffic.
+// Audit records are not mutations and return (nil, nil).
+func mutationOf(r wal.Record) (Mutation, error) {
+	switch r.Type {
+	case wal.TypeAnchors:
+		anchors, epoch, err := decodeAnchors(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Reanchor{Anchors: anchors, epoch: epoch, exact: true}, nil
+	case wal.TypeGroupLink:
+		link, err := pki.Unmarshal[pki.GroupLink](r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return GroupLink{Cert: link}, nil
+	case wal.TypeIdentityRevocation:
+		rev, err := pki.Unmarshal[pki.IdentityRevocation](r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return IdentityRevocation{Cert: rev}, nil
+	case wal.TypeRevocation:
+		rev, err := pki.Unmarshal[pki.Revocation](r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Revocation{Cert: rev}, nil
+	case wal.TypeAudit:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("no mutation for record type %q", r.Type)
+	}
+}
+
+// applyReplayed applies a replayed mutation: the record was
+// signature-verified when first processed and is CRC-protected at rest,
+// so the belief is re-recorded directly, mirroring the derivation the
+// live path ran (journal.go's package comment explains why signatures
+// are not re-checked). The record supplies the original sequence number
+// and timestamp for the replayed proof steps.
+func (s *Server) applyReplayed(m Mutation, r wal.Record) error {
+	switch v := m.(type) {
+	case Reanchor:
+		s.restoreAt(v.Anchors, v.epoch)
+		return nil
+	case GroupLink:
+		return s.replayGroupLink(v.Cert, r)
+	case IdentityRevocation:
+		return s.replayIdentityRevocation(v.Cert, r)
+	case Revocation:
+		return s.replayRevocation(v.Cert, r)
+	default:
+		return fmt.Errorf("no replay for mutation %T", m)
+	}
+}

@@ -69,6 +69,16 @@ const (
 	MetricCacheInvalidated = "authz_cert_cache_invalidated_total"
 	// MetricSnapshotSwaps counts published belief snapshots.
 	MetricSnapshotSwaps = "authz_snapshot_swaps_total"
+	// MetricResidualHits counts requests decided on the precompiled
+	// residual fast path.
+	MetricResidualHits = "authz_residual_hits_total"
+	// MetricResidualCompiles counts residual checklists compiled at
+	// snapshot publish (one per protected (object, group) pair).
+	MetricResidualCompiles = "authz_residual_compiles_total"
+	// MetricResidualFallbacks counts requests that fell back to the full
+	// derivation replay (no residue for the object, cold certificate
+	// cache, or an unsupported membership shape).
+	MetricResidualFallbacks = "authz_residual_fallbacks_total"
 )
 
 // Instrument injects a metrics registry. Call it once, before serving;

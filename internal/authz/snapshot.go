@@ -2,14 +2,16 @@
 //
 // The server's trust state — anchors, processed revocations and group
 // links — lives in an immutable snapshot swapped atomically by the
-// belief-mutating operations (ProcessRevocation, ProcessGroupLink,
-// ProcessIdentityRevocation, Reanchor). Authorize loads the current
-// snapshot once and runs lock-free against it: certificate derivations go
-// into a per-request fork of the snapshot's engine, and successful
+// belief-mutating operations (Server.Apply and its deprecated
+// Process*/Reanchor wrappers). Authorize loads the current snapshot once
+// and runs lock-free against it: certificate derivations go into a
+// per-request fork of the snapshot's engine, and successful
 // verifications are memoized in the snapshot's certificate cache (keyed by
 // certificate fingerprint). Because the cache lives inside the snapshot,
 // every belief mutation discards it wholesale — a cached certificate can
-// never outlive the belief set it was verified under.
+// never outlive the belief set it was verified under. Each snapshot also
+// carries the residual checklists compiled against its belief set
+// (residual.go), so residue invalidation rides the same swap.
 
 package authz
 
@@ -35,6 +37,11 @@ type state struct {
 	epoch     uint64
 	watermark uint64
 	cache     *certCache
+	// residues are the checklists compiled against this snapshot's belief
+	// set at publish time (residual.go), keyed by (object, group). They
+	// are invalidated by construction: the next publish carries fresh
+	// ones.
+	residues map[string]*residue
 }
 
 // Snapshot is a read-only view of the server's current belief state,
@@ -141,6 +148,7 @@ func (s *Server) mutate(fn func(cur *state, eng *logic.Engine) (*wal.Record, err
 		epoch:     cur.epoch,
 		watermark: cur.watermark + 1,
 		cache:     newCertCache(),
+		residues:  s.compileResiduals(eng),
 	}, cur)
 	return nil
 }
@@ -156,14 +164,14 @@ func (s *Server) publish(next, prev *state) {
 	}
 }
 
-// Reanchor replaces the server's trust anchors — the re-anchoring a
+// applyReanchor replaces the server's trust anchors — the re-anchoring a
 // coalition rekey (Join/Leave) requires — bumping the key epoch. The belief
 // set is rebuilt from the new anchors and the certificate cache is
 // discarded: nothing verified under the old epoch survives. With a
 // journal attached, the new anchors are recorded (and fsynced) before
 // the epoch is published; a journal failure leaves the old epoch in
 // place.
-func (s *Server) Reanchor(anchors TrustAnchors) error {
+func (s *Server) applyReanchor(anchors TrustAnchors) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.state.Load()
@@ -176,12 +184,14 @@ func (s *Server) Reanchor(anchors TrustAnchors) error {
 			return fmt.Errorf("authz: journal re-anchoring: %w", err)
 		}
 	}
+	eng := freshEngine(s.name, s.clk, anchors)
 	s.publish(&state{
 		anchors:   anchors,
-		eng:       freshEngine(s.name, s.clk, anchors),
+		eng:       eng,
 		epoch:     cur.epoch + 1,
 		watermark: 0,
 		cache:     newCertCache(),
+		residues:  s.compileResiduals(eng),
 	}, cur)
 	return nil
 }
@@ -193,11 +203,13 @@ func (s *Server) restoreAt(anchors TrustAnchors, epoch uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.state.Load()
+	eng := freshEngine(s.name, s.clk, anchors)
 	s.publish(&state{
 		anchors:   anchors,
-		eng:       freshEngine(s.name, s.clk, anchors),
+		eng:       eng,
 		epoch:     epoch,
 		watermark: 0,
 		cache:     newCertCache(),
+		residues:  s.compileResiduals(eng),
 	}, cur)
 }

@@ -33,9 +33,9 @@ type Command struct {
 	// in the Reply. Clients that retry over a lossy transport use it to
 	// match late or duplicated replies to the command that caused them.
 	ID string `json:"id,omitempty"`
-	// Cmd selects the operation: write, read, revoke, audit, stats, join,
-	// leave, sign (writers); authorize, audit, stats, replstatus
-	// (followers).
+	// Cmd selects the operation: write, read, revoke, mutate, audit,
+	// stats, join, leave, sign (writers); authorize, audit, stats,
+	// replstatus (followers).
 	Cmd string `json:"cmd"`
 	// Group overrides the default group of the command (G_write for
 	// write/revoke, G_read for read).
@@ -45,7 +45,9 @@ type Command struct {
 	// Data is the write payload (write, sign) or the JSON-encoded wire
 	// AccessRequest to evaluate (a follower's authorize command).
 	Data string `json:"data,omitempty"`
-	// Op is the permission a sign command requests (default "read").
+	// Op is the permission a sign command requests (default "read"), or
+	// the mutation verb of a mutate command (one per authz.Mutation
+	// variant: link, revoke, revoke-identity, crl, reanchor).
 	Op string `json:"op,omitempty"`
 	// Signers are the co-signing users of a joint request.
 	Signers []string `json:"signers,omitempty"`
@@ -386,7 +388,7 @@ func (d *Daemon) Handle(ctx context.Context, cmd Command) Reply {
 func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 	a, srv := d.alliance, d.server
 	switch cmd.Cmd {
-	case "revoke", "join", "leave":
+	case "revoke", "mutate", "join", "leave":
 		d.dyn.Lock()
 		defer d.dyn.Unlock()
 	default:
@@ -419,6 +421,15 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		}
 		d.maybeCompact()
 		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
+	case "mutate":
+		// One verb per authz.Mutation variant, applied through the unified
+		// Server.Apply path (via the alliance helpers, which build and
+		// deliver the certificates).
+		reply, kind := d.mutate(cmd)
+		if reply.OK {
+			d.maybeCompact()
+		}
+		return reply, kind
 	case "sign":
 		// Build (and co-sign) a wire AccessRequest without evaluating it:
 		// the caller submits it to replication followers via their
@@ -471,6 +482,49 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 			report.Epoch, report.CertsRevoked, report.CertsReissued)}, ""
 	default:
 		return Reply{Detail: "unknown command " + cmd.Cmd}, "unknown_command"
+	}
+}
+
+// mutate dispatches one belief mutation by verb. Verbs mirror the
+// authz.Mutation sum type (authz.Verbs); the daemon builds the mutation's
+// certificate at the alliance authorities and delivers it to the server.
+func (d *Daemon) mutate(cmd Command) (Reply, string) {
+	a, srv := d.alliance, d.server
+	switch cmd.Op {
+	case authz.VerbGroupLink:
+		if cmd.Group == "" || cmd.Data == "" {
+			return Reply{Detail: "mutate link needs group (sub) and data (sup)"}, "bad_args"
+		}
+		if err := a.LinkGroups(cmd.Group, cmd.Data, srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("linked %s ⇒ %s", cmd.Group, cmd.Data)}, ""
+	case authz.VerbRevocation:
+		if err := a.Revoke(group(cmd.Group, "G_write"), srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
+	case authz.VerbIdentityRevocation:
+		if cmd.Data == "" {
+			return Reply{Detail: "mutate revoke-identity needs data (user)"}, "bad_args"
+		}
+		if err := a.RevokeIdentity(cmd.Data, srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: "revoked identity of " + cmd.Data}, ""
+	case authz.VerbCRL:
+		if err := a.PublishCRL(srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: "published CRL"}, ""
+	case authz.VerbReanchor:
+		if err := a.Reanchor(srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: "re-anchored at current key epoch"}, ""
+	default:
+		return Reply{Detail: fmt.Sprintf("unknown mutation verb %q (one of %s)",
+			cmd.Op, strings.Join(authz.Verbs, ", "))}, "unknown_verb"
 	}
 }
 

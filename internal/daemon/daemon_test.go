@@ -79,6 +79,50 @@ func TestDaemonDynamics(t *testing.T) {
 	}
 }
 
+// TestDaemonMutateVerbs drives every mutation verb through the mutate
+// command: link enables an inherited group, revoke-identity and revoke
+// deny future writes, crl and reanchor succeed as no-op-shaped mutations.
+func TestDaemonMutateVerbs(t *testing.T) {
+	d := newDaemon(t)
+	ctx := context.Background()
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "link", Group: "G_read", Data: "G_write"}); !r.OK {
+		t.Fatalf("mutate link: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "crl"}); !r.OK {
+		t.Fatalf("mutate crl: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "reanchor"}); !r.OK {
+		t.Fatalf("mutate reanchor: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v2"}); !r.OK {
+		t.Fatalf("write before revocations: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "revoke-identity", Data: "alice"}); !r.OK {
+		t.Fatalf("mutate revoke-identity: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "write", Signers: []string{"alice", "bob"}, Data: "v3"}); r.OK {
+		t.Fatal("write approved after identity revocation")
+	}
+	if r := d.Handle(ctx, Command{Cmd: "write", Signers: []string{"bob", "carol"}, Data: "v3"}); !r.OK {
+		t.Fatalf("write by unrevoked signers: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "revoke", Group: "G_write"}); !r.OK {
+		t.Fatalf("mutate revoke: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "write", Signers: []string{"bob", "carol"}, Data: "v4"}); r.OK {
+		t.Fatal("write approved after group revocation")
+	}
+	r := d.Handle(ctx, Command{Cmd: "mutate", Op: "fly"})
+	if r.OK || !strings.Contains(r.Detail, "unknown mutation verb") {
+		t.Fatalf("unknown verb: %+v", r)
+	}
+	for _, verb := range []string{"link", "revoke", "revoke-identity", "crl", "reanchor"} {
+		if !strings.Contains(r.Detail, verb) {
+			t.Errorf("verb listing missing %q: %s", verb, r.Detail)
+		}
+	}
+}
+
 func TestDaemonUnknownCommand(t *testing.T) {
 	d := newDaemon(t)
 	if r := d.Handle(context.Background(), Command{Cmd: "fly"}); r.OK || !strings.Contains(r.Detail, "unknown") {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"jointadmin/internal/clock"
 	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
@@ -96,6 +97,25 @@ func (r *replFollower) waitSeq(t *testing.T, seq uint64, within time.Duration) t
 	t.Fatalf("follower %s stuck at %+v, want seq >= %d within %s",
 		r.node.Name(), r.f.Applier().Status(), seq, within)
 	return 0
+}
+
+// waitClock polls until the follower's logical clock has reached at,
+// failing after the deadline. A follower clock trails the writer's by
+// up to one heartbeat, and a certificate issued at the writer's current
+// time is "not valid yet" on a follower still behind it — so tests must
+// wait for clock convergence, not just sequence convergence, before
+// evaluating freshly issued certificates there.
+func (r *replFollower) waitClock(t *testing.T, at clock.Time, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if st := r.f.Applier().Status(); st.Ready && st.Clock >= at {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("follower %s clock stuck at %v, want >= %v within %s",
+		r.node.Name(), r.f.Applier().Status().Clock, at, within)
 }
 
 // askPeer sends one command to the named peer and waits for the matching
@@ -207,6 +227,12 @@ func TestChaosReplicatedFleet(t *testing.T) {
 		t.Fatalf("sign read request failed: %+v", rep)
 	}
 	signedRead := rep.Data
+	// Signing mints identity certificates at the writer's current clock;
+	// follower clocks trail it by up to a heartbeat, so wait for them
+	// before evaluating the fresh certificates there.
+	signClk := d.alliance.Clock().Now()
+	f1.waitClock(t, signClk, 15*time.Second)
+	f2.waitClock(t, signClk, 15*time.Second)
 	for i, peer := range []string{"f1", "f2"} {
 		rep = askPeer(t, client, peer, fmt.Sprintf("r3-%d", i), Command{Cmd: "authorize", Data: signedRead})
 		if !rep.OK {
@@ -227,6 +253,7 @@ func TestChaosReplicatedFleet(t *testing.T) {
 		t.Fatalf("sign write request failed: %+v", rep)
 	}
 	signedWrite := rep.Data
+	f1.waitClock(t, d.alliance.Clock().Now(), 15*time.Second)
 	rep = askPeer(t, client, "f1", "r6", Command{Cmd: "authorize", Data: signedWrite})
 	if !rep.OK {
 		t.Fatalf("pre-revocation write authorize denied on f1: %+v", rep)
@@ -296,22 +323,19 @@ func TestChaosReplicatedFleet(t *testing.T) {
 		}
 	}
 	// Old signed requests died with the old authority keys; a freshly
-	// signed one is honored across the restarted fleet.
-	rep = askPeer(t, client, "coalitiond", "r9", Command{Cmd: "sign", Signers: []string{"carol"}})
-	if !rep.OK {
-		t.Fatalf("sign after writer restart failed: %+v", rep)
-	}
-	for i, peer := range []string{"f1", "f2"} {
+	// signed one is honored across the restarted fleet. Each sign mints
+	// identity certificates at the writer's just-ticked clock, so each
+	// follower's clock must catch up before it can believe them.
+	for i, fr := range []*replFollower{f1, f2b} {
+		rep = askPeer(t, client, "coalitiond", fmt.Sprintf("r9-%d", i), Command{Cmd: "sign", Signers: []string{"carol"}})
+		if !rep.OK {
+			t.Fatalf("sign after writer restart failed: %+v", rep)
+		}
+		fr.waitClock(t, d2.alliance.Clock().Now(), 15*time.Second)
+		peer := []string{"f1", "f2"}[i]
 		rep = askPeer(t, client, peer, fmt.Sprintf("r10-%d", i), Command{Cmd: "authorize", Data: rep.Data})
 		if !rep.OK {
 			t.Fatalf("authorize on %s after writer restart denied: %+v", peer, rep)
-		}
-		if i == 0 {
-			// Re-fetch for the second follower: rep was overwritten.
-			rep = askPeer(t, client, "coalitiond", "r9b", Command{Cmd: "sign", Signers: []string{"carol"}})
-			if !rep.OK {
-				t.Fatalf("re-sign failed: %+v", rep)
-			}
 		}
 	}
 

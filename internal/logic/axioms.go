@@ -42,6 +42,20 @@ const (
 	// certificate cache: the full A10/A22/A9 chain was recorded when the
 	// certificate was first verified under the same belief snapshot.
 	RuleCachedDerivation = "cached (verified-certificate cache)"
+	// RuleResidualLink marks a believed group link re-recorded into a
+	// residual checklist when the snapshot was published; its premise is
+	// the base-proof step that originally concluded the link.
+	RuleResidualLink = "residual (recorded group link)"
+	// RuleResidualCompile marks the summary step that closes a residual
+	// checklist's recorded segment: the invariant portion of one
+	// (object, group) derivation, compiled once per snapshot.
+	RuleResidualCompile = "residual (compiled checklist)"
+	// RuleResidualLeaf marks a request-variable leaf check discharged on
+	// the residual fast path (identity validity, membership validity,
+	// signed utterance); the heavyweight chain behind each leaf was
+	// recorded when the certificate was first verified under the same
+	// snapshot.
+	RuleResidualLeaf = "residual (leaf check)"
 )
 
 // Sentinel errors callers can match on.

@@ -197,6 +197,95 @@ func (p *Proof) String() string {
 	return b.String()
 }
 
+// Segment is a self-contained run of recorded proof steps, cut from a
+// proof by Record and replayable by Splice onto any proof sharing the
+// same sealed prefix. It is how the residual compiler captures the
+// invariant portion of a derivation once per snapshot: premises below
+// the segment's first step refer into the shared base and are preserved
+// verbatim, premises within the segment are renumbered on splice.
+type Segment struct {
+	start int // original 1-based ID of steps[0]
+	steps []Step
+}
+
+// Len returns the number of recorded steps.
+func (g Segment) Len() int { return len(g.steps) }
+
+// Steps returns a copy of the recorded steps, with their original IDs.
+func (g Segment) Steps() []Step {
+	out := make([]Step, len(g.steps))
+	copy(out, g.steps)
+	return out
+}
+
+// Record cuts the steps with ID > from into a Segment. The cut may not
+// reach into the sealed prefix: segments record steps appended by the
+// caller, not the shared base they build on.
+func (p *Proof) Record(from int) (Segment, error) {
+	if from < p.baseLen || from > p.Len() {
+		return Segment{}, fmt.Errorf("logic: Record from step %d of a proof with sealed prefix %d and %d steps", from, p.baseLen, p.Len())
+	}
+	steps := make([]Step, p.Len()-from)
+	copy(steps, p.steps[from-p.baseLen:])
+	return Segment{start: from + 1, steps: steps}, nil
+}
+
+// Splice replays a recorded segment onto the proof: each step is
+// re-appended with a fresh ID, premises that referred to earlier steps
+// of the same segment are remapped, and premises below the segment's
+// start are kept verbatim — they reference the sealed prefix both
+// proofs share. The proof must already contain every such external
+// premise (it does whenever both proofs descend from the same sealed
+// base). The returned map sends original step IDs to spliced ones.
+func (p *Proof) Splice(seg Segment) (map[int]int, error) {
+	if seg.start-1 > p.Len() {
+		return nil, fmt.Errorf("logic: splice of segment starting at step %d onto a proof with only %d steps", seg.start, p.Len())
+	}
+	ids := make(map[int]int, len(seg.steps))
+	for _, s := range seg.steps {
+		ps := make([]int, len(s.Premises))
+		for i, pr := range s.Premises {
+			if pr >= seg.start {
+				np, ok := ids[pr]
+				if !ok {
+					return nil, fmt.Errorf("logic: segment step %d cites premise %d before it is spliced", s.ID, pr)
+				}
+				ps[i] = np
+			} else {
+				ps[i] = pr
+			}
+		}
+		ids[s.ID] = p.Append(s.Rule, ps, s.Conclusion, s.At, s.Note)
+	}
+	return ids, nil
+}
+
+// StringFrom renders only the steps with ID > after, without the
+// derivation header: the complement of a prefix rendered (and cached)
+// earlier with String. StringFrom(0) renders every step.
+func (p *Proof) StringFrom(after int) string {
+	var b strings.Builder
+	line := func(s Step) {
+		if s.ID > after {
+			b.WriteString("  ")
+			b.WriteString(s.String())
+			b.WriteByte('\n')
+		}
+	}
+	for _, seg := range p.base.chain() {
+		if seg.start+len(seg.steps)-1 <= after {
+			continue
+		}
+		for _, s := range seg.steps {
+			line(s)
+		}
+	}
+	for _, s := range p.steps {
+		line(s)
+	}
+	return b.String()
+}
+
 // Check verifies the internal consistency of the proof: premise IDs must
 // refer to strictly earlier steps and every step must have a conclusion.
 func (p *Proof) Check() error {

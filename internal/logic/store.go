@@ -368,6 +368,24 @@ func (b *BeliefStore) MembershipFor(g Group, t clock.Time) (MemberOf, bool) {
 	return out, found
 }
 
+// GroupLinks returns every believed GroupSpeaksFor entry, with its
+// recording step and validity term intact and regardless of whether the
+// link is in force at any particular time. The residual compiler records
+// the link steps once per snapshot and re-checks each link's validity
+// term at request time.
+func (b *BeliefStore) GroupLinks() []Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Entry
+	b.forEachLocked(func(e Entry) bool {
+		if _, ok := e.F.(GroupSpeaksFor); ok {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
 // GroupLinksFrom returns the supergroups that sub speaks for at time t
 // (privilege inheritance, one hop; callers compute the closure).
 func (b *BeliefStore) GroupLinksFrom(sub Group, t clock.Time) []Group {

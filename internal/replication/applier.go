@@ -78,6 +78,10 @@ type Status struct {
 	// Snapshots and Resyncs count installs and recovery hellos.
 	Snapshots uint64 `json:"snapshots"`
 	Resyncs   uint64 `json:"resyncs"`
+	// Clock is the replica's logical clock. It trails the writer's by up
+	// to one heartbeat; a certificate issued at the writer's current
+	// time is not believable here until Clock catches up.
+	Clock clock.Time `json:"clock"`
 }
 
 // Applier is the follower-side protocol endpoint. Feed it every
@@ -125,13 +129,16 @@ func (a *Applier) Status() Status {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st := Status{
-		Ready:     a.replica.Load() != nil,
 		LastSeq:   a.lastSeq,
 		Head:      a.head,
 		Epoch:     a.epoch,
 		Watermark: a.watermark,
 		Snapshots: a.snapshots,
 		Resyncs:   a.resyncs,
+	}
+	if rep := a.replica.Load(); rep != nil {
+		st.Ready = true
+		st.Clock = rep.clk.Now()
 	}
 	if st.Head > st.LastSeq {
 		st.Lag = st.Head - st.LastSeq

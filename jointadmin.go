@@ -159,7 +159,9 @@ func (a *Alliance) GrantSelective(group, user string) error {
 }
 
 // SelectiveRequest submits a request under a single-subject certificate.
-// It is a thin wrapper over Submit.
+//
+// It is a compatibility shim kept for callers of the pre-RequestSpec API:
+// new code should build a RequestSpec (with Selective set) and call Submit.
 func (a *Alliance) SelectiveRequest(s *Server, group, op, object string, payload []byte, user string) (Decision, error) {
 	return a.Submit(context.Background(), s, RequestSpec{
 		Group: group, Op: op, Object: object, Payload: payload,
@@ -186,8 +188,24 @@ func (a *Alliance) Revoke(group string, servers ...*Server) error {
 		return fmt.Errorf("jointadmin: revoke %s: %w", group, err)
 	}
 	for _, s := range servers {
-		if err := s.inner.ProcessRevocation(rev); err != nil {
+		if err := s.inner.Apply(context.Background(), authz.Revocation{Cert: rev}); err != nil {
 			return fmt.Errorf("jointadmin: deliver revocation to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// PublishCRL has the revocation authority publish its current certificate
+// revocation list and delivers it to the given servers, folding every
+// listed entry into their belief state in one snapshot.
+func (a *Alliance) PublishCRL(servers ...*Server) error {
+	crl, err := a.c.RA().PublishCRL()
+	if err != nil {
+		return fmt.Errorf("jointadmin: publish CRL: %w", err)
+	}
+	for _, s := range servers {
+		if err := s.inner.Apply(context.Background(), authz.CRL{List: crl}); err != nil {
+			return fmt.Errorf("jointadmin: deliver CRL to %s: %w", s.name, err)
 		}
 	}
 	return nil
@@ -202,7 +220,7 @@ func (a *Alliance) LinkGroups(sub, sup string, servers ...*Server) error {
 		return fmt.Errorf("jointadmin: link %s ⇒ %s: %w", sub, sup, err)
 	}
 	for _, s := range servers {
-		if err := s.inner.ProcessGroupLink(cert); err != nil {
+		if err := s.inner.Apply(context.Background(), authz.GroupLink{Cert: cert}); err != nil {
 			return fmt.Errorf("jointadmin: deliver group link to %s: %w", s.name, err)
 		}
 	}
@@ -219,7 +237,7 @@ func (a *Alliance) RevokeIdentity(user string, servers ...*Server) error {
 		return fmt.Errorf("jointadmin: revoke identity of %s: %w", user, err)
 	}
 	for _, s := range servers {
-		if err := s.inner.ProcessIdentityRevocation(rev); err != nil {
+		if err := s.inner.Apply(context.Background(), authz.IdentityRevocation{Cert: rev}); err != nil {
 			return fmt.Errorf("jointadmin: deliver identity revocation to %s: %w", s.name, err)
 		}
 	}
@@ -282,6 +300,9 @@ func (s *Server) CreateObject(name string, aclSpec map[string][]string, content 
 	if err := s.store.Create(name, built, content, "G_policy"); err != nil {
 		return fmt.Errorf("jointadmin: create %s: %w", name, err)
 	}
+	// The object store changed under the published snapshot: recompile the
+	// residual checklists so the new object gets a fast path immediately.
+	s.inner.RecompileResiduals()
 	return nil
 }
 
@@ -384,8 +405,11 @@ func (a *Alliance) Submit(ctx context.Context, s *Server, spec RequestSpec) (Dec
 
 // JointRequest builds and submits a joint access request: the named
 // signers co-sign "op object" (with optional payload), and the request is
-// decided by the server's authorization protocol. It is a thin wrapper
-// over Submit.
+// decided by the server's authorization protocol.
+//
+// It is a compatibility shim kept for callers of the pre-RequestSpec API:
+// new code should build a RequestSpec and call Submit, which accepts a
+// context and is the single documented authorize entry point.
 func (a *Alliance) JointRequest(s *Server, group, op, object string, payload []byte, signers ...string) (Decision, error) {
 	return a.Submit(context.Background(), s, RequestSpec{
 		Group: group, Op: op, Object: object, Payload: payload, Signers: signers,
@@ -405,7 +429,7 @@ func (s *Server) Request(ctx context.Context, req AccessRequest) (Decision, erro
 // state, the new anchors are durably recorded before the epoch switches;
 // the error reports a journal failure (the old epoch stays published).
 func (a *Alliance) Reanchor(s *Server) error {
-	return s.inner.Reanchor(a.c.Anchors(a.opts.freshness))
+	return s.inner.Apply(context.Background(), authz.Reanchor{Anchors: a.c.Anchors(a.opts.freshness)})
 }
 
 // BoundSubjectsOf lists the subjects bound into the group's certificate —

@@ -1,0 +1,247 @@
+package jointadmin
+
+// Residual-soundness regressions: the precompiled fast path (residual.go)
+// must never outlive the belief snapshot it was compiled against. For each
+// Mutation variant we authorize a request on the warm residual path, apply
+// the mutation, and require the very next decision — taken against the
+// freshly published snapshot — to deny. The -race stress test interleaves
+// Apply with warm Authorize calls to check the snapshot swap itself.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"jointadmin/internal/authz"
+	"jointadmin/internal/obs"
+)
+
+// residualFixture builds a 3-domain alliance with a 2-of-3 threshold group
+// on one object, instruments the server, and returns a reusable pre-signed
+// joint write request (freshness checking is off by default, so replay is
+// valid).
+func residualFixture(t *testing.T, opts ...Option) (*Alliance, *Server, *obs.Registry, AccessRequest) {
+	t.Helper()
+	a, err := NewAlliance("residual", []string{"D1", "D2", "D3"}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range []string{"u1", "u2", "u3"} {
+		if err := a.EnrollUser(a.Domains()[i], u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.GrantThreshold("G_write", 2, "u1", "u2", "u3"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := a.NewServer("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Authz().Instrument(reg)
+	if err := srv.CreateObject("O", map[string][]string{"G_write": {"write"}}, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := a.NewRequest(RequestSpec{
+		Group: "G_write", Op: "write", Object: "O",
+		Payload: []byte("v2"), Signers: []string{"u1", "u2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, srv, reg, req
+}
+
+// warmResidual replays the request twice — the first call falls back (cold
+// certificate cache) and warms it, the second must be decided on the
+// residual path — and asserts the hit counter moved.
+func warmResidual(t *testing.T, srv *Server, reg *obs.Registry, req AccessRequest) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Request(ctx, req); err != nil {
+			t.Fatalf("warm-up request %d: %v", i, err)
+		}
+	}
+	if hits := reg.Counter(authz.MetricResidualHits).Value(); hits < 1 {
+		t.Fatalf("residual fast path never fired: %d hits (fallbacks: %d)",
+			hits, reg.Counter(authz.MetricResidualFallbacks).Value())
+	}
+	if compiles := reg.Counter(authz.MetricResidualCompiles).Value(); compiles < 1 {
+		t.Fatalf("no residues compiled after instrumentation: %d", compiles)
+	}
+}
+
+// requireDeniedNext asserts the very next decision after a mutation denies,
+// and that it did NOT ride a stale residue: the mutation discarded the
+// certificate cache, so the first post-mutation request must fall back.
+func requireDeniedNext(t *testing.T, srv *Server, reg *obs.Registry, req AccessRequest) {
+	t.Helper()
+	fallbacksBefore := reg.Counter(authz.MetricResidualFallbacks).Value()
+	dec, err := srv.Request(context.Background(), req)
+	if err == nil || dec.Allowed {
+		t.Fatalf("request allowed after mutation: allowed=%v err=%v", dec.Allowed, err)
+	}
+	if after := reg.Counter(authz.MetricResidualFallbacks).Value(); after <= fallbacksBefore {
+		t.Fatalf("post-mutation decision did not fall back (fallbacks %d -> %d): stale residue?",
+			fallbacksBefore, after)
+	}
+}
+
+func TestResidualRevocationInvalidates(t *testing.T) {
+	a, srv, reg, req := residualFixture(t)
+	warmResidual(t, srv, reg, req)
+	if err := a.Revoke("G_write", srv); err != nil {
+		t.Fatal(err)
+	}
+	requireDeniedNext(t, srv, reg, req)
+}
+
+func TestResidualIdentityRevocationInvalidates(t *testing.T) {
+	a, srv, reg, req := residualFixture(t)
+	warmResidual(t, srv, reg, req)
+	if err := a.RevokeIdentity("u1", srv); err != nil {
+		t.Fatal(err)
+	}
+	requireDeniedNext(t, srv, reg, req)
+}
+
+func TestResidualCRLInvalidates(t *testing.T) {
+	a, srv, reg, req := residualFixture(t)
+	warmResidual(t, srv, reg, req)
+	// Revoke at the RA without delivering, then deliver via the published
+	// CRL: the Mutation variant under test is authz.CRL.
+	cert, ok := a.Coalition().Certificate("G_write")
+	if !ok {
+		t.Fatal("no certificate for G_write")
+	}
+	if _, err := a.Coalition().RA().Revoke(cert, a.Clock().Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PublishCRL(srv); err != nil {
+		t.Fatal(err)
+	}
+	requireDeniedNext(t, srv, reg, req)
+}
+
+func TestResidualReanchorInvalidates(t *testing.T) {
+	a, srv, reg, req := residualFixture(t)
+	warmResidual(t, srv, reg, req)
+	// A coalition rekey re-anchors the server at a new AA key epoch: the
+	// pre-signed request's certificates no longer verify there.
+	if _, err := a.Join("D4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reanchor(srv); err != nil {
+		t.Fatal(err)
+	}
+	requireDeniedNext(t, srv, reg, req)
+}
+
+// TestResidualGroupLinkEnables is the dual direction: a group absent from
+// the ACL is denied (no residue exists for it), and the GroupLink mutation
+// both authorizes it and compiles a fresh residue for the inherited pair.
+func TestResidualGroupLinkEnables(t *testing.T) {
+	a, srv, reg, _ := residualFixture(t)
+	if err := a.GrantThreshold("G_sub", 2, "u1", "u2", "u3"); err != nil {
+		t.Fatal(err)
+	}
+	req, err := a.NewRequest(RequestSpec{
+		Group: "G_sub", Op: "write", Object: "O",
+		Payload: []byte("v3"), Signers: []string{"u1", "u2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if dec, err := srv.Request(ctx, req); err == nil || dec.Allowed {
+		t.Fatalf("unlinked group allowed: allowed=%v err=%v", dec.Allowed, err)
+	}
+	if err := a.LinkGroups("G_sub", "G_write", srv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Request(ctx, req); err != nil {
+		t.Fatalf("linked group denied on fallback pass: %v", err)
+	}
+	hitsBefore := reg.Counter(authz.MetricResidualHits).Value()
+	if _, err := srv.Request(ctx, req); err != nil {
+		t.Fatalf("linked group denied on warm pass: %v", err)
+	}
+	if after := reg.Counter(authz.MetricResidualHits).Value(); after <= hitsBefore {
+		t.Fatalf("no residue compiled for inherited pair (hits %d -> %d)", hitsBefore, after)
+	}
+}
+
+// TestResidualLeafExpiry checks the request-variable leaves: within one
+// snapshot (warm cache, residue live) an advance of the clock past the
+// certificates' validity must deny on the residual path itself.
+func TestResidualLeafExpiry(t *testing.T) {
+	a, srv, reg, req := residualFixture(t, WithCertValidity(50))
+	warmResidual(t, srv, reg, req)
+	a.Clock().Advance(500)
+	hitsBefore := reg.Counter(authz.MetricResidualHits).Value()
+	dec, err := srv.Request(context.Background(), req)
+	if err == nil || dec.Allowed {
+		t.Fatalf("expired certificates allowed: allowed=%v err=%v", dec.Allowed, err)
+	}
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+	if after := reg.Counter(authz.MetricResidualHits).Value(); after <= hitsBefore {
+		t.Fatalf("expiry denial did not run on the residual path (hits %d -> %d)", hitsBefore, after)
+	}
+}
+
+// TestResidualApplyRace interleaves belief mutations (Apply via LinkGroups)
+// with warm residual authorizations. Every decision taken while unrelated
+// links land must still be allowed, and a final revocation must deny.
+// Run with -race.
+func TestResidualApplyRace(t *testing.T) {
+	a, srv, reg, req := residualFixture(t)
+	warmResidual(t, srv, reg, req)
+	ctx := context.Background()
+
+	const mutations = 50
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if dec, err := srv.Request(ctx, req); err != nil || !dec.Allowed {
+					select {
+					case errs <- fmt.Errorf("denied during unrelated mutations: allowed=%v err=%v", dec.Allowed, err):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < mutations; i++ {
+		if err := a.LinkGroups(fmt.Sprintf("G_x%d", i), "G_write", srv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := a.Revoke("G_write", srv); err != nil {
+		t.Fatal(err)
+	}
+	requireDeniedNext(t, srv, reg, req)
+}

@@ -59,6 +59,27 @@ for m in $metrics; do
         fail=1
     fi
 done
+residual_metrics=$(grep -ohE '"authz_residual_[a-z_]+"' internal/authz/obs.go | tr -d '"' | sort -u)
+for m in $residual_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: residual metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+# Mutation verb parity: every authz.Mutation verb must be wired through
+# policyctl's mutate command and documented.
+verbs=$(grep -ohE 'Verb[A-Za-z]+ = "[a-z-]+"' internal/authz/mutation.go |
+    sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+for v in $verbs; do
+    if ! grep -q -- "-op $v" cmd/policyctl/main.go; then
+        echo "verb parity: mutation verb '$v' has no -op example in cmd/policyctl/main.go" >&2
+        fail=1
+    fi
+    if ! grep -rq -- "$v" docs/; then
+        echo "verb parity: mutation verb '$v' not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
 [ "$fail" -eq 0 ] || exit 1
 
 echo "OK"
