@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI gate (scripts/check.sh).
 
-.PHONY: check build test bench bench-authz bench-fork bench-wal bench-repl fmt
+.PHONY: check build test bench bench-authz bench-fork bench-wal bench-repl bench-load fmt
 
 check:
 	sh scripts/check.sh
@@ -29,6 +29,11 @@ bench-wal:
 # authorize throughput at 1/2/4 followers.
 bench-repl:
 	sh scripts/bench_repl.sh
+
+# Regenerates BENCH_load.json (scripts/bench_load.sh): coalition-scale
+# load harness, three series (baseline / +batch-verify / +pooled).
+bench-load:
+	sh scripts/bench_load.sh
 
 fmt:
 	gofmt -w .

@@ -193,6 +193,7 @@ func deployment(b *testing.B) *benchDeployment {
 
 func BenchmarkAuthorizeWrite(b *testing.B) {
 	d := deployment(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.a.JointRequest(d.srv, "G_write", "write", "O", []byte("v"), "u1", "u2"); err != nil {
@@ -203,6 +204,7 @@ func BenchmarkAuthorizeWrite(b *testing.B) {
 
 func BenchmarkAuthorizeRead(b *testing.B) {
 	d := deployment(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.a.JointRequest(d.srv, "G_read", "read", "O", nil, "u3"); err != nil {
@@ -259,6 +261,7 @@ func BenchmarkAuthorizeSerial(b *testing.B) {
 	ctx := context.Background()
 	b.Run("cold", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-serial-cold")
+		b.ReportAllocs()
 		srv.Authz().SetVerifyParallelism(1)
 		srv.Authz().SetResidualsEnabled(false)
 		b.ResetTimer()
@@ -273,6 +276,7 @@ func BenchmarkAuthorizeSerial(b *testing.B) {
 	})
 	b.Run("warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-serial-warm")
+		b.ReportAllocs()
 		srv.Authz().SetVerifyParallelism(1)
 		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {
@@ -287,6 +291,7 @@ func BenchmarkAuthorizeSerial(b *testing.B) {
 	})
 	b.Run("residual", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-serial-residual")
+		b.ReportAllocs()
 		srv.Authz().SetVerifyParallelism(1)
 		if _, err := srv.Request(ctx, req); err != nil { // warm the cache
 			b.Fatal(err)
@@ -310,6 +315,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 	ctx := context.Background()
 	b.Run("fanout-warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-fanout-warm")
+		b.ReportAllocs()
 		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {
 			b.Fatal(err)
@@ -325,6 +331,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 		// Per-goroutine servers re-anchored before every request, so each
 		// decision re-verifies its certificates (the re-anchor itself is
 		// cheap next to the RSA verifications it forces).
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			srv := benchServer(b, d, "Pb-concurrent-cold")
 			srv.Authz().SetVerifyParallelism(1)
@@ -339,6 +346,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 	})
 	b.Run("concurrent-warm", func(b *testing.B) {
 		srv := benchServer(b, d, "Pb-concurrent-warm")
+		b.ReportAllocs()
 		srv.Authz().SetVerifyParallelism(1)
 		srv.Authz().SetResidualsEnabled(false)
 		if _, err := srv.Request(ctx, req); err != nil {

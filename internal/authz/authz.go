@@ -24,10 +24,10 @@ package authz
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -83,19 +83,13 @@ type UserRequest struct {
 	SigS    string         `json:"sig"`               // hex FDH-RSA signature
 }
 
-// requestBody is the canonical signed payload of a UserRequest.
+// requestBody is the canonical signed payload of a UserRequest: the
+// json.Marshal encoding of its signed fields, produced by the
+// allocation-free encoder in encode.go (byte-equivalence with
+// encoding/json is pinned by test, since signatures are over these
+// exact bytes).
 func requestBody(r UserRequest) ([]byte, error) {
-	b, err := json.Marshal(struct {
-		User    string         `json:"user"`
-		At      clock.Time     `json:"at"`
-		Op      acl.Permission `json:"op"`
-		Object  string         `json:"object"`
-		Payload []byte         `json:"payload,omitempty"`
-	}{r.User, r.At, r.Op, r.Object, r.Payload})
-	if err != nil {
-		return nil, fmt.Errorf("authz: encode request: %w", err)
-	}
-	return b, nil
+	return appendRequestBody(nil, &r), nil
 }
 
 // SignRequest produces a signed request component for a user key pair.
@@ -151,13 +145,27 @@ type Server struct {
 
 	// reg receives the server's metrics (Instrument); nil drops them.
 	reg *obs.Registry
+	// hot caches the per-step metric handles the Authorize path observes
+	// on every request, so the hot path never pays a registry lookup
+	// (rebuilt by Instrument; see buildHotMetrics).
+	hot hotMetrics
 	// reqSeq numbers evaluated requests for audit/metrics correlation.
 	reqSeq atomic.Uint64
 	// parallelism bounds the per-request signature-verification fan-out.
-	parallelism int
+	// Stored atomically: SetVerifyParallelism may be called while the
+	// lock-free Authorize path reads it.
+	parallelism atomic.Int32
 	// noResidual, when set, bypasses the precompiled-residue fast path
 	// (SetResidualsEnabled).
 	noResidual atomic.Bool
+	// batchVerify enables k-way batched verification of cache-miss
+	// identity certificates (SetBatchVerify); batchBlindBits selects the
+	// blinded strict mode (SetBatchVerifyBlinding).
+	batchVerify    atomic.Bool
+	batchBlindBits atomic.Int32
+	// noPool, when set, disables per-request pooling of engine forks and
+	// residual scratch (SetPooling).
+	noPool atomic.Bool
 
 	// mu serializes belief-mutating operations; Authorize never takes it.
 	mu sync.Mutex
@@ -173,12 +181,13 @@ type Server struct {
 // The audit log may be nil.
 func NewServer(name string, clk *clock.Clock, anchors TrustAnchors, objects *acl.Store, log *audit.Log) *Server {
 	s := &Server{
-		name:        name,
-		clk:         clk,
-		objects:     objects,
-		log:         log,
-		parallelism: defaultParallelism(),
+		name:    name,
+		clk:     clk,
+		objects: objects,
+		log:     log,
 	}
+	s.parallelism.Store(int32(defaultParallelism()))
+	s.buildHotMetrics()
 	eng := freshEngine(name, clk, anchors)
 	s.state.Store(&state{
 		anchors:  anchors,
@@ -216,8 +225,17 @@ func freshEngine(name string, clk *clock.Clock, a TrustAnchors) *logic.Engine {
 	eng.Assume(logic.SaysTimeJurisdiction{Authority: logic.P(a.AAName), Since: a.TrustSince, Server: name},
 		"statements 4–5: AA controls accuracy time")
 
-	// Statements 6–11: each CA's key and jurisdictions.
-	for ca, key := range a.CAKeys {
+	// Statements 6–11: each CA's key and jurisdictions. Sorted order so
+	// two servers sealed from the same anchors derive byte-identical
+	// proof traces (map iteration order would otherwise leak into the
+	// audit log and make traces irreproducible across restarts).
+	cas := make([]string, 0, len(a.CAKeys))
+	for ca := range a.CAKeys {
+		cas = append(cas, ca)
+	}
+	sort.Strings(cas)
+	for _, ca := range cas {
+		key := a.CAKeys[ca]
 		eng.Assume(logic.KeySpeaksFor{K: logic.KeyID(key.KeyID()), T: logic.During(a.TrustSince, horizon).On(name), Who: logic.P(ca)},
 			"K"+ca+" ⇒ "+ca)
 		eng.Assume(logic.KeyJurisdiction{CA: logic.P(ca)},
@@ -266,7 +284,9 @@ func (s *Server) deny(tr *reqTrace, req *AccessRequest, group, reason string, pr
 		object = req.Requests[0].Object
 	}
 	trace := ""
-	if proof != nil {
+	if proof != nil && tr.sink {
+		// Rendering the derivation is pure overhead when no audit sink
+		// will consume the entry.
 		trace = proof.String()
 	}
 	s.audit(audit.Entry{
@@ -325,7 +345,10 @@ func (s *Server) Authorize(ctx context.Context, req AccessRequest) (Decision, er
 		}
 		s.reg.Counter(MetricResidualFallbacks).Inc()
 	}
-	eng := st.eng.Fork()
+	eng := s.fork(st)
+	// The decision escapes only the proof (never pooled); the engine and
+	// its store go back to the fork pool once the evaluation returns.
+	defer eng.Recycle()
 	now := s.clk.Now()
 	tr := s.beginTrace()
 
@@ -453,30 +476,35 @@ type idResult struct {
 // validity and key-revocation are still re-checked at the current time.
 func (s *Server) verifyIdentities(ctx context.Context, st *state, eng *logic.Engine, ids []pki.Signed[pki.Identity], now clock.Time) (map[string]sharedrsa.PublicKey, error) {
 	results := make([]idResult, len(ids))
-	err := forEachParallel(ctx, len(ids), s.parallelism, func(_ context.Context, i int) error {
-		idc := ids[i]
-		r := &results[i]
-		r.fp = pki.Fingerprint(idc)
-		if e, ok := st.cache.get(r.fp); ok {
-			r.cached, r.hit = true, e
-			s.reg.Counter(MetricCacheHits, "kind", "identity").Inc()
+	var err error
+	if s.batchVerify.Load() {
+		err = s.verifyIdentitiesBatched(st, ids, results, now)
+	} else {
+		err = forEachParallel(ctx, len(ids), s.verifyParallelism(), func(_ context.Context, i int) error {
+			idc := ids[i]
+			r := &results[i]
+			r.fp = pki.Fingerprint(idc)
+			if e, ok := st.cache.get(r.fp); ok {
+				r.cached, r.hit = true, e
+				s.reg.Counter(MetricCacheHits, "kind", "identity").Inc()
+				return nil
+			}
+			s.reg.Counter(MetricCacheMisses, "kind", "identity").Inc()
+			caKey, ok := st.anchors.CAKeys[idc.Cert.Issuer]
+			if !ok {
+				return errors.New("identity certificate from untrusted CA " + idc.Cert.Issuer)
+			}
+			if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
+				return errors.New("identity certificate invalid: " + err.Error())
+			}
+			upk, err := idc.Cert.SubjectKey.PublicKey()
+			if err != nil {
+				return errors.New("identity certificate key malformed: " + err.Error())
+			}
+			r.upk = upk
 			return nil
-		}
-		s.reg.Counter(MetricCacheMisses, "kind", "identity").Inc()
-		caKey, ok := st.anchors.CAKeys[idc.Cert.Issuer]
-		if !ok {
-			return errors.New("identity certificate from untrusted CA " + idc.Cert.Issuer)
-		}
-		if err := pki.VerifyIdentity(idc, caKey, now); err != nil {
-			return errors.New("identity certificate invalid: " + err.Error())
-		}
-		upk, err := idc.Cert.SubjectKey.PublicKey()
-		if err != nil {
-			return errors.New("identity certificate key malformed: " + err.Error())
-		}
-		r.upk = upk
-		return nil
-	})
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -653,7 +681,7 @@ func (s *Server) verifyCosigners(ctx context.Context, eng *logic.Engine, req *Ac
 		items[i] = cosignItem{user: r.User, body: body, sig: sharedrsa.Signature{S: sigVal}, upk: upk}
 	}
 
-	err := forEachParallel(ctx, len(items), s.parallelism, func(_ context.Context, i int) error {
+	err := forEachParallel(ctx, len(items), s.verifyParallelism(), func(_ context.Context, i int) error {
 		if err := sharedrsa.Verify(items[i].body, items[i].upk, items[i].sig); err != nil {
 			return errors.New(items[i].user + ": request signature invalid")
 		}

@@ -1,0 +1,142 @@
+package authz
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"jointadmin/internal/acl"
+	"jointadmin/internal/clock"
+)
+
+// nastyStrings exercises every escaping branch of appendJSONString.
+var nastyStrings = []string{
+	"",
+	"plain ascii",
+	`quote " and \ backslash`,
+	"<script>&amp;</script>",
+	"newline\nreturn\rtab\t",
+	"nul\x00unit\x1fesc\x1b",
+	"ünïcødé ☃ 中文",
+	"line sep \u2028 para sep \u2029",
+	"invalid \xff\xfe utf8 \x80",
+	"trailing continuation \xc3",
+	"mixed <b>\n\"&\"</b> \u2028\xffend",
+}
+
+// oldRequestBody is the historical json.Marshal encoding the signatures
+// were defined over; appendRequestBody must reproduce it byte for byte.
+func oldRequestBody(t *testing.T, r UserRequest) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		User    string         `json:"user"`
+		At      clock.Time     `json:"at"`
+		Op      acl.Permission `json:"op"`
+		Object  string         `json:"object"`
+		Payload []byte         `json:"payload,omitempty"`
+	}{r.User, r.At, r.Op, r.Object, r.Payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	check := func(s string) {
+		t.Helper()
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+	for _, s := range nastyStrings {
+		check(s)
+	}
+	// Deterministic random byte strings sweep the branch combinations.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		check(string(b))
+	}
+}
+
+func TestAppendRequestBodyMatchesEncodingJSON(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("plain"), []byte{0x00, 0xff, 0x3c}, []byte("long payload long payload long payload")}
+	at := []clock.Time{0, 1, 12345, clock.Time(1 << 40)}
+	for _, u := range nastyStrings {
+		for _, p := range payloads {
+			for _, ts := range at {
+				r := UserRequest{User: u, At: ts, Op: acl.Write, Object: "O/" + u, Payload: p}
+				want := oldRequestBody(t, r)
+				if got := appendRequestBody(nil, &r); string(got) != string(want) {
+					t.Fatalf("request body diverges for user %q payload %v:\n got %s\nwant %s", u, p, got, want)
+				}
+				// Appending into a dirty, pre-sized buffer must yield the
+				// same bytes (the pooled-path usage).
+				buf := append(make([]byte, 0, 512), "garbage"...)
+				if got := appendRequestBody(buf[len(buf):], &r); string(got) != string(want) {
+					t.Fatalf("offset append diverges for user %q", u)
+				}
+			}
+		}
+	}
+}
+
+// wireDecision is the struct AppendDecisionJSON is contractually
+// byte-identical to under json.Marshal.
+type wireDecision struct {
+	Allowed    bool   `json:"allowed"`
+	Group      string `json:"group,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	DeniedStep string `json:"deniedStep,omitempty"`
+	RequestID  string `json:"requestId,omitempty"`
+	Data       []byte `json:"data,omitempty"`
+}
+
+func TestAppendDecisionJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []Decision{
+		{},
+		{Allowed: true, Group: "G_write", Reason: "Group(G_write) says_100 write", RequestID: "P-000001", Data: []byte("genome v1")},
+		{Allowed: false, Group: "G_read", Reason: `denied: "stale" <cert> & more`, DeniedStep: StepFreshness, RequestID: "P-000002"},
+		{Allowed: true, Data: []byte{0x00, 0x01, 0xfe}},
+		{Allowed: false, Reason: "line\u2028sep \xff invalid"},
+	}
+	for i, d := range cases {
+		want, err := json.Marshal(wireDecision{
+			Allowed: d.Allowed, Group: d.Group, Reason: d.Reason,
+			DeniedStep: d.DeniedStep, RequestID: d.RequestID, Data: d.Data,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AppendDecisionJSON(nil, &d); string(got) != string(want) {
+			t.Errorf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestAppendDecisionJSONZeroAlloc pins the zero-allocation contract:
+// encoding into a pre-sized buffer must not allocate at all.
+func TestAppendDecisionJSONZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	d := Decision{Allowed: true, Group: "G_write", Reason: "Group(G_write) says_100 (\"write\", \"O\")",
+		RequestID: "P-012345", Data: []byte("genome v2 payload")}
+	buf := make([]byte, 0, 512)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendDecisionJSON(buf[:0], &d)
+	}); allocs != 0 {
+		t.Errorf("AppendDecisionJSON allocates %.0f/op into a pre-sized buffer, want 0", allocs)
+	}
+	r := UserRequest{User: "User_D1", At: 100, Op: acl.Write, Object: "O", Payload: []byte("payload")}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = appendRequestBody(buf[:0], &r)
+	}); allocs != 0 {
+		t.Errorf("appendRequestBody allocates %.0f/op into a pre-sized buffer, want 0", allocs)
+	}
+}

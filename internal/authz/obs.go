@@ -8,7 +8,7 @@
 package authz
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"jointadmin/internal/audit"
@@ -79,15 +79,75 @@ const (
 	// derivation replay (no residue for the object, cold certificate
 	// cache, or an unsupported membership shape).
 	MetricResidualFallbacks = "authz_residual_fallbacks_total"
+	// MetricBatchVerifyBatches counts k-way batched certificate checks
+	// run in Step 1 (one per issuing CA with ≥ 1 cache-miss certificate
+	// when SetBatchVerify is on).
+	MetricBatchVerifyBatches = "authz_batch_verify_batches_total"
+	// MetricBatchVerifyItems counts certificates decided by the batched
+	// product check (the per-batch k, summed).
+	MetricBatchVerifyItems = "authz_batch_verify_items_total"
+	// MetricBatchVerifyFallbacks counts batches that fell back to
+	// per-certificate verification — a failed product check being
+	// attributed, a duplicate-message batch under screening, or a
+	// structurally broken signature.
+	MetricBatchVerifyFallbacks = "authz_batch_verify_fallbacks_total"
 )
 
 // Instrument injects a metrics registry. Call it once, before serving;
 // a nil registry (the default) keeps tracing in the audit log but drops
 // the metrics. The registry is injected rather than global so tests and
 // simulations observe exactly the servers they wired up.
-func (s *Server) Instrument(reg *obs.Registry) { s.reg = reg }
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.reg = reg
+	s.buildHotMetrics()
+}
 
-// reqTrace accumulates the spans of one request evaluation.
+// traceSteps is the fixed span vocabulary of the Authorize path; the
+// handles for these are resolved once (buildHotMetrics), not per request.
+var traceSteps = []string{StepFreshness, StepCerts, StepThreshold, StepCosign, StepACL, StepExecute}
+
+// stepHandles bundles the metric handles observed for one step label.
+type stepHandles struct {
+	seconds  *obs.Histogram
+	denied   *obs.Counter
+	canceled *obs.Counter
+}
+
+// hotMetrics caches the metric handles of the per-request hot path. With
+// a nil registry the handles are throwaway sinks — observing them is
+// still cheaper than minting new ones per span, and the hot path stays
+// allocation-free either way.
+type hotMetrics struct {
+	steps      map[string]stepHandles
+	reqSeconds *obs.Histogram
+	requests   *obs.Counter
+	allowed    *obs.Counter
+}
+
+// buildHotMetrics resolves the per-request metric handles against the
+// current registry. Called from NewServer and Instrument — both before
+// the server decides requests, like reg itself.
+func (s *Server) buildHotMetrics() {
+	h := hotMetrics{
+		steps:      make(map[string]stepHandles, len(traceSteps)),
+		reqSeconds: s.reg.Histogram(MetricRequestSeconds, nil),
+		requests:   s.reg.Counter(MetricRequests),
+		allowed:    s.reg.Counter(MetricAllowed),
+	}
+	for _, step := range traceSteps {
+		h.steps[step] = stepHandles{
+			seconds:  s.reg.Histogram(MetricStepSeconds, nil, "step", step),
+			denied:   s.reg.Counter(MetricDenied, "step", step),
+			canceled: s.reg.Counter(MetricCanceled, "step", step),
+		}
+	}
+	s.hot = h
+}
+
+// reqTrace accumulates the spans of one request evaluation. sink
+// records whether any audit consumer (log or journal) will read the
+// entry; when false, span accumulation and proof rendering are skipped
+// — the step and request histograms are still observed.
 type reqTrace struct {
 	s     *Server
 	id    string
@@ -95,15 +155,33 @@ type reqTrace struct {
 	spans []audit.Span
 	step  string
 	start time.Time
+	sink  bool
 }
 
 // beginTrace assigns the next request ID ("P-000007") and starts timing.
 func (s *Server) beginTrace() *reqTrace {
 	return &reqTrace{
-		s:  s,
-		id: fmt.Sprintf("%s-%06d", s.name, s.reqSeq.Add(1)),
-		t0: time.Now(),
+		s:    s,
+		id:   s.requestID(),
+		t0:   time.Now(),
+		sink: s.log != nil || s.journalRef() != nil,
 	}
+}
+
+// requestID renders "<name>-<%06d seq>" without fmt's reflection
+// machinery (one string allocation — the ID escapes into the Decision).
+func (s *Server) requestID() string {
+	seq := s.reqSeq.Add(1)
+	var num [20]byte
+	n := strconv.AppendUint(num[:0], seq, 10)
+	buf := make([]byte, 0, len(s.name)+1+6+len(n))
+	buf = append(buf, s.name...)
+	buf = append(buf, '-')
+	for i := len(n); i < 6; i++ {
+		buf = append(buf, '0')
+	}
+	buf = append(buf, n...)
+	return string(buf)
 }
 
 // begin closes the current span (as ok) and opens the named one.
@@ -120,8 +198,14 @@ func (t *reqTrace) end(outcome, detail string) {
 		return
 	}
 	d := time.Since(t.start)
-	t.spans = append(t.spans, audit.Span{Step: t.step, Outcome: outcome, Detail: detail, Duration: d})
-	t.s.reg.Histogram(MetricStepSeconds, nil, "step", t.step).Observe(d.Seconds())
+	if t.sink {
+		t.spans = append(t.spans, audit.Span{Step: t.step, Outcome: outcome, Detail: detail, Duration: d})
+	}
+	if h, ok := t.s.hot.steps[t.step]; ok {
+		h.seconds.Observe(d.Seconds())
+	} else {
+		t.s.reg.Histogram(MetricStepSeconds, nil, "step", t.step).Observe(d.Seconds())
+	}
 	t.step = ""
 }
 
@@ -130,21 +214,27 @@ func (t *reqTrace) endOK() { t.end("ok", "") }
 
 // finish records the request-level metrics once the decision is made.
 func (t *reqTrace) finish(allowed bool, deniedStep string) {
-	t.s.reg.Counter(MetricRequests).Inc()
+	t.s.hot.requests.Inc()
 	if allowed {
-		t.s.reg.Counter(MetricAllowed).Inc()
+		t.s.hot.allowed.Inc()
+	} else if h, ok := t.s.hot.steps[deniedStep]; ok {
+		h.denied.Inc()
 	} else {
 		t.s.reg.Counter(MetricDenied, "step", deniedStep).Inc()
 	}
-	t.s.reg.Histogram(MetricRequestSeconds, nil).Observe(time.Since(t.t0).Seconds())
+	t.s.hot.reqSeconds.Observe(time.Since(t.t0).Seconds())
 }
 
 // finishCanceled records the request-level metrics for a request aborted
 // by context cancellation (counted apart from approvals and denials).
 func (t *reqTrace) finishCanceled(step string) {
-	t.s.reg.Counter(MetricRequests).Inc()
-	t.s.reg.Counter(MetricCanceled, "step", step).Inc()
-	t.s.reg.Histogram(MetricRequestSeconds, nil).Observe(time.Since(t.t0).Seconds())
+	t.s.hot.requests.Inc()
+	if h, ok := t.s.hot.steps[step]; ok {
+		h.canceled.Inc()
+	} else {
+		t.s.reg.Counter(MetricCanceled, "step", step).Inc()
+	}
+	t.s.hot.reqSeconds.Observe(time.Since(t.t0).Seconds())
 }
 
 // observeRevocation records timing and count for one revocation-processing

@@ -17,13 +17,18 @@ func defaultParallelism() int {
 
 // SetVerifyParallelism bounds the number of co-signer RSA verifications a
 // single request runs concurrently (default: GOMAXPROCS). n ≤ 1 forces the
-// serial path. Call before serving; the value is read without locking.
+// serial path. The value is stored atomically, so it is safe to change
+// while requests are in flight; each request reads it once at the start
+// of a fan-out.
 func (s *Server) SetVerifyParallelism(n int) {
 	if n < 1 {
 		n = 1
 	}
-	s.parallelism = n
+	s.parallelism.Store(int32(n))
 }
+
+// verifyParallelism reads the current fan-out bound.
+func (s *Server) verifyParallelism() int { return int(s.parallelism.Load()) }
 
 // forEachParallel runs fn(i) for i in [0, n) on at most limit workers. The
 // first failure cancels the context handed to fn, so slow verifications

@@ -1,0 +1,43 @@
+package authz
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSetVerifyParallelismDuringServing is the -race regression for the
+// fan-out bound: mutating it while requests are in flight must be safe
+// (it is stored atomically) and every request must still decide
+// correctly whichever bound it observes.
+func TestSetVerifyParallelismDuringServing(t *testing.T) {
+	f := newFixture(t)
+	server := f.newServer(nil)
+	req := f.writeRequest(t, []byte("race probe"), "User_D1", "User_D2")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dec, err := server.Authorize(context.Background(), req)
+				if err != nil || !dec.Allowed {
+					t.Errorf("authorize under parallelism churn: dec=%+v err=%v", dec, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		server.SetVerifyParallelism(1 + i%4)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -29,7 +29,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/big"
 	"strings"
 
 	"jointadmin/internal/acl"
@@ -246,25 +245,30 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	op := req.Requests[0].Op
 	object := req.Requests[0].Object
 
+	// The request's working set — lookup maps, leaf-check slices, body
+	// encodings — comes from the scratch pool and is cleared on return;
+	// only the proof (and the strings on the Decision) escape.
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+
 	// The attribute certificate names the requesting group and binds the
 	// co-signers' keys; its verification must be cached.
 	var (
 		group        string
 		issuer       string
-		boundKey     map[string]string
 		certValidity clock.Interval
 		memFP        string
 	)
+	boundKey := sc.boundKey
 	if req.SingleSubject {
 		c := req.Single.Cert
 		group, issuer = c.Group, c.Issuer
-		boundKey = map[string]string{c.Subject.Name: c.Subject.KeyID}
+		boundKey[c.Subject.Name] = c.Subject.KeyID
 		certValidity = clock.NewInterval(c.NotBefore, c.NotAfter)
 		memFP = pki.Fingerprint(req.Single)
 	} else {
 		c := req.Threshold.Cert
 		group, issuer = c.Group, c.Issuer
-		boundKey = make(map[string]string, len(c.Subjects))
 		for _, sub := range c.Subjects {
 			boundKey[sub.Name] = sub.KeyID
 		}
@@ -298,7 +302,8 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	default:
 		return Decision{}, nil, false
 	}
-	idHits := make([]cachedCert, len(req.Identities))
+	idHits := grow(sc.idHits, len(req.Identities))
+	sc.idHits = idHits
 	for i := range req.Identities {
 		e, ok := st.cache.get(pki.Fingerprint(req.Identities[i]))
 		if !ok {
@@ -357,8 +362,7 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	// ---- Step 1 leaves: cached identity verifications, re-checked for
 	// validity and key revocation at the current time. ----
 	tr.begin(StepCerts)
-	userKeys := make(map[string]sharedrsa.PublicKey, len(req.Identities))
-	userKS := make(map[string]logic.KeySpeaksFor, len(req.Identities))
+	userKeys, userKS := sc.userKeys, sc.userKS
 	for i, idc := range req.Identities {
 		e := idHits[i]
 		ks := e.formula.(logic.KeySpeaksFor)
@@ -391,7 +395,11 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	// ---- Step 3 leaves: structural checks, RSA co-signature
 	// verification on the parallel fan-out, signed-utterance steps. ----
 	tr.begin(StepCosign)
-	items := make([]cosignItem, len(req.Requests))
+	items := grow(sc.items, len(req.Requests))
+	sc.items = items
+	sigs := grow(sc.sigs, len(req.Requests))
+	sc.sigs = sigs
+	bodyBuf, bodyOff := sc.bodyBuf[:0], sc.bodyOff[:0]
 	for i, r := range req.Requests {
 		if r.Op != op || r.Object != object {
 			return deny(group, "co-signers disagree on the request")
@@ -404,20 +412,30 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 		if !ok {
 			return deny(group, r.User+" is not a subject of the threshold certificate")
 		}
-		if upk.KeyID() != want {
+		// The cached Step-1 formula's key ID is the verified ID of upk, so
+		// a string compare replaces re-hashing the key (KeyID is
+		// sha256 + hex per call — measurable at load-harness rates).
+		if string(userKS[r.User].K) != want {
 			return deny(group, r.User+"'s identity key differs from the certificate binding")
 		}
-		body, err := requestBody(r)
-		if err != nil {
-			return deny(group, err.Error())
-		}
-		sigVal, ok := new(big.Int).SetString(r.SigS, 16)
-		if !ok {
+		// All bodies append into one pooled buffer; the item slices are
+		// fixed up below, once the buffer stops growing. The signature
+		// values parse into pooled big.Ints (SetString reuses their limbs).
+		start := len(bodyBuf)
+		bodyBuf = appendRequestBody(bodyBuf, &req.Requests[i])
+		bodyOff = append(bodyOff, start, len(bodyBuf))
+		sig := &sigs[i]
+		if _, ok := sig.SetString(r.SigS, 16); !ok {
+			sc.bodyBuf, sc.bodyOff = bodyBuf, bodyOff
 			return deny(group, r.User+": malformed signature")
 		}
-		items[i] = cosignItem{user: r.User, body: body, sig: sharedrsa.Signature{S: sigVal}, upk: upk}
+		items[i] = cosignItem{user: r.User, sig: sharedrsa.Signature{S: sig}, upk: upk}
 	}
-	err := forEachParallel(ctx, len(items), s.parallelism, func(_ context.Context, i int) error {
+	sc.bodyBuf, sc.bodyOff = bodyBuf, bodyOff
+	for i := range items {
+		items[i].body = bodyBuf[bodyOff[2*i]:bodyOff[2*i+1]]
+	}
+	err := forEachParallel(ctx, len(items), s.verifyParallelism(), func(_ context.Context, i int) error {
 		if err := sharedrsa.Verify(items[i].body, items[i].upk, items[i].sig); err != nil {
 			return errors.New(items[i].user + ": request signature invalid")
 		}
@@ -429,8 +447,10 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 		}
 		return deny(group, err.Error())
 	}
-	utterances := make([]logic.Says, len(req.Requests))
-	utterSteps := make([]int, len(req.Requests))
+	utterances := grow(sc.utter, len(req.Requests))
+	sc.utter = utterances
+	utterSteps := grow(sc.utterSteps, len(req.Requests))
+	sc.utterSteps = utterSteps
 	for i, r := range req.Requests {
 		// The signed form of the utterance, exactly as VerifySignedRequest
 		// records it — A38 consumes it to check each co-signer's bound key.
@@ -439,7 +459,7 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 			Who: logic.P(r.User),
 			T:   logic.At(r.At),
 			X:   content,
-		}), logic.KeyID(items[i].upk.KeyID()))
+		}), userKS[r.User].K)
 		says := logic.Says{Who: logic.P(r.User), T: logic.At(r.At), X: signed}
 		utterances[i] = says
 		utterSteps[i] = pr.Append(logic.RuleResidualLeaf, nil, says, now,
@@ -471,7 +491,9 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	if err != nil {
 		return deny(group, "threshold not met: "+err.Error())
 	}
-	pr.Append(rule, append([]int{memStep}, utterSteps...), gs, now, "statement 25: G says X")
+	premises := append(append(sc.premises[:0], memStep), utterSteps...)
+	sc.premises = premises
+	pr.Append(rule, premises, gs, now, "statement 25: G says X")
 
 	// ---- Step 4: the live ACL against the residue's link closure, plus
 	// the temporal condition tb' ≤ t1 ∧ t6 ≤ te'. ----

@@ -15,6 +15,9 @@ type Engine struct {
 	clk   *clock.Clock
 	store *BeliefStore
 	proof *Proof
+	// box, when non-nil, is the pool slab this engine was carved from
+	// (ForkPooled); Recycle returns it. Plain Fork leaves it nil.
+	box *forkBox
 }
 
 // NewEngine returns an engine for the named relying principal with the

@@ -1,0 +1,58 @@
+// Pooled engine forks. A request evaluation forks the published sealed
+// engine, derives into the fork, and drops it — so under load the fork
+// allocations (an Engine, a BeliefStore, the store's overlay slices and
+// index maps as beliefs are added) dominate the logic layer's garbage.
+// ForkPooled/Recycle route those allocations through a sync.Pool: a
+// recycled fork's overlay keeps its backing capacity, so a warm fork
+// costs no allocation at all on the store side.
+//
+// The proof is deliberately NOT pooled: every authorization decision
+// escapes its proof to the caller (allow and deny alike carry the
+// derivation trace), so the proof's lifetime is unbounded and it stays
+// an ordinary GC-managed Clone.
+
+package logic
+
+import "sync"
+
+// forkBox is the pool slab for one fork: the Engine struct and the
+// BeliefStore it points at, allocated together and reused together.
+type forkBox struct {
+	eng   Engine
+	store BeliefStore
+}
+
+var forkPool = sync.Pool{New: func() any { return new(forkBox) }}
+
+// ForkPooled is Fork with the engine and belief store drawn from a
+// package pool. The fork is semantically identical to Fork()'s — same
+// owner and clock, cloned store and proof — but must be returned with
+// Recycle once no derivation state of the fork (other than its proof)
+// is referenced anymore. The proof is a plain Clone and survives
+// Recycle indefinitely.
+func (e *Engine) ForkPooled() *Engine {
+	b := forkPool.Get().(*forkBox)
+	e.store.cloneInto(&b.store)
+	b.eng = Engine{
+		owner: e.owner,
+		clk:   e.clk,
+		store: &b.store,
+		proof: e.proof.Clone(),
+		box:   b,
+	}
+	return &b.eng
+}
+
+// Recycle returns a pooled fork to the pool. It is a no-op on engines
+// not created by ForkPooled, so callers can recycle unconditionally.
+// After Recycle the engine and its store must not be touched; the proof
+// obtained via Proof() remains valid.
+func (e *Engine) Recycle() {
+	b := e.box
+	if b == nil || e != &b.eng {
+		return
+	}
+	b.store.reset()
+	b.eng = Engine{} // drop the proof and store references
+	forkPool.Put(b)
+}

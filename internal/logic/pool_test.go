@@ -1,0 +1,123 @@
+package logic
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"jointadmin/internal/clock"
+)
+
+// pooledBase builds a sealed engine with a few base beliefs, the shape
+// ForkPooled is used against in the authz server.
+func pooledBase(t *testing.T) *Engine {
+	t.Helper()
+	clk := clock.New(100)
+	e := NewEngine("P", clk)
+	e.Assume(KeySpeaksFor{K: "KCA", T: During(0, clock.Infinity).On("P"), Who: P("CA")}, "base key")
+	e.Assume(MembershipJurisdiction{Authority: P("AA"), AuthorityName: "AA"}, "base jurisdiction")
+	return e.Seal()
+}
+
+// TestForkPooledEquivalence derives identically on a plain and a pooled
+// fork and requires indistinguishable stores and proofs.
+func TestForkPooledEquivalence(t *testing.T) {
+	base := pooledBase(t)
+	drive := func(e *Engine) {
+		e.Assume(MemberOf{Who: P("alice"), G: G("G1"), T: During(0, 500)}, "scratch membership")
+		e.Store().Revoke(P("bob"), G("G1"), 200, 1)
+		e.Store().RevokeKey("KX", 300)
+	}
+	plain := base.Fork()
+	pooled := base.ForkPooled()
+	drive(plain)
+	drive(pooled)
+
+	if !reflect.DeepEqual(plain.Store().All(), pooled.Store().All()) {
+		t.Errorf("pooled fork beliefs diverge:\n plain: %v\npooled: %v", plain.Store().All(), pooled.Store().All())
+	}
+	if !reflect.DeepEqual(plain.Store().Revocations(), pooled.Store().Revocations()) {
+		t.Errorf("pooled fork revocations diverge")
+	}
+	if !pooled.Store().KeyRevoked("KX", 300) {
+		t.Error("pooled fork lost a key revocation")
+	}
+	if !reflect.DeepEqual(plain.Proof().Steps(), pooled.Proof().Steps()) {
+		t.Errorf("pooled fork proof diverges")
+	}
+	pooled.Recycle()
+	plain.Recycle() // must be a no-op on a plain fork
+	if _, ok := plain.Store().Holds(MemberOf{Who: P("alice"), G: G("G1"), T: During(0, 500)}); !ok {
+		t.Error("Recycle on a plain fork must be a no-op")
+	}
+}
+
+// TestForkPooledNoStateLeak recycles a dirtied fork and requires the
+// next pooled fork to start from exactly the base state: no beliefs,
+// revocations, or revoked keys may survive the round trip.
+func TestForkPooledNoStateLeak(t *testing.T) {
+	base := pooledBase(t)
+	baseLen := base.Proof().Len()
+	for round := 0; round < 8; round++ {
+		f := base.ForkPooled()
+		if f.Store().Len() != base.Store().Len() {
+			t.Fatalf("round %d: fork starts with %d beliefs, base has %d", round, f.Store().Len(), base.Store().Len())
+		}
+		if f.Proof().Len() != baseLen {
+			t.Fatalf("round %d: fork starts with %d proof steps, want %d", round, f.Proof().Len(), baseLen)
+		}
+		if f.Store().KeyRevoked("Kround", 400) {
+			t.Fatalf("round %d: key revocation leaked across Recycle", round)
+		}
+		if f.Store().Revoked(P("mallory"), G("G1"), 400) {
+			t.Fatalf("round %d: membership revocation leaked across Recycle", round)
+		}
+		if _, ok := f.Store().Holds(Prop{Name: "scratch"}); ok {
+			t.Fatalf("round %d: belief leaked across Recycle", round)
+		}
+		// Dirty every overlay structure, then recycle.
+		f.Assume(Prop{Name: "scratch"}, "leak probe")
+		f.Store().Revoke(P("mallory"), G("G1"), 300, 1)
+		f.Store().RevokeKey("Kround", 300)
+		proof := f.Proof()
+		f.Recycle()
+		// The proof must survive the recycle (decisions escape it).
+		if proof.Len() != baseLen+1 {
+			t.Fatalf("round %d: proof damaged by Recycle: len %d", round, proof.Len())
+		}
+		if err := proof.Check(); err != nil {
+			t.Fatalf("round %d: recycled fork's proof fails Check: %v", round, err)
+		}
+	}
+}
+
+// TestForkPooledConcurrent hammers ForkPooled/Recycle from many
+// goroutines against one sealed base (the -race regression for the
+// pool): every fork must see exactly the base beliefs and its own.
+func TestForkPooledConcurrent(t *testing.T) {
+	base := pooledBase(t)
+	baseBeliefs := base.Store().Len()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := base.ForkPooled()
+				if f.Store().Len() != baseBeliefs {
+					t.Errorf("worker %d: fork sees %d beliefs, want %d", w, f.Store().Len(), baseBeliefs)
+					f.Recycle()
+					return
+				}
+				f.Assume(Prop{Name: "w"}, "private")
+				if f.Store().Len() != baseBeliefs+1 {
+					t.Errorf("worker %d: fork lost its private belief", w)
+					f.Recycle()
+					return
+				}
+				f.Recycle()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

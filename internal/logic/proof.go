@@ -237,9 +237,20 @@ func (p *Proof) Record(from int) (Segment, error) {
 // proofs share. The proof must already contain every such external
 // premise (it does whenever both proofs descend from the same sealed
 // base). The returned map sends original step IDs to spliced ones.
+//
+// When the segment lands exactly at its original position — the proof's
+// length equals start−1, the residual fast path's invariant (the
+// residue was recorded from a clone of the same sealed base the request
+// proof is cloned from) — every ID maps to itself: the steps are
+// appended verbatim, sharing their premise slices with the immutable
+// segment, and the returned map is nil.
 func (p *Proof) Splice(seg Segment) (map[int]int, error) {
 	if seg.start-1 > p.Len() {
 		return nil, fmt.Errorf("logic: splice of segment starting at step %d onto a proof with only %d steps", seg.start, p.Len())
+	}
+	if seg.start-1 == p.Len() {
+		p.steps = append(p.steps, seg.steps...)
+		return nil, nil
 	}
 	ids := make(map[int]int, len(seg.steps))
 	for _, s := range seg.steps {

@@ -58,6 +58,46 @@ func TestRecordSplice(t *testing.T) {
 	}
 }
 
+// TestSpliceAligned pins the residual fast path: splicing a segment
+// onto a proof of exactly start−1 steps appends the steps verbatim —
+// identical IDs, premises, and rendering to the shifted slow path's
+// renumbering — and returns a nil map, since every ID maps to itself.
+func TestSpliceAligned(t *testing.T) {
+	base := sealedProof(t)
+
+	rec := base.Clone()
+	from := rec.Len()
+	a := rec.Append(RuleResidualLink, []int{1}, Prop{Name: "edge"}, 2, "link")
+	rec.Append(RuleResidualCompile, []int{a, 2}, Prop{Name: "summary"}, 2, "sum")
+	seg, err := rec.Record(from)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	dst := base.Clone()
+	ids, err := dst.Splice(seg)
+	if err != nil {
+		t.Fatalf("aligned Splice: %v", err)
+	}
+	if ids != nil {
+		t.Fatalf("aligned Splice returned a map %v, want nil (identity)", ids)
+	}
+	if err := dst.Check(); err != nil {
+		t.Fatalf("aligned splice fails Check: %v", err)
+	}
+	if dst.String() != rec.String() {
+		t.Fatalf("aligned splice diverges from the recorded proof:\n--- got ---\n%s\n--- want ---\n%s", dst.String(), rec.String())
+	}
+	sum, ok := dst.Step(from + 2)
+	if !ok || sum.Premises[0] != a || sum.Premises[1] != 2 {
+		t.Fatalf("aligned summary premises = %v (ok=%v), want [%d 2]", sum.Premises, ok, a)
+	}
+	// Appending past the splice keeps numbering contiguous.
+	if id := dst.Append(RuleResidualLeaf, []int{sum.ID}, Prop{Name: "leaf"}, 3, ""); id != from+3 {
+		t.Fatalf("post-splice append got ID %d, want %d", id, from+3)
+	}
+}
+
 func TestRecordBounds(t *testing.T) {
 	p := sealedProof(t)
 	if _, err := p.Record(0); err == nil {

@@ -1,0 +1,270 @@
+package sharedrsa
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// batchKey generates a test key via the dealer split (the fast path for
+// tests that only exercise signing) and returns the public key plus a
+// direct signing closure using the dealer's exponent.
+func batchKey(t *testing.T) (PublicKey, func(msg []byte) Signature) {
+	t.Helper()
+	res, err := DealerSplit(512, 2, nil)
+	if err != nil {
+		t.Fatalf("DealerSplit: %v", err)
+	}
+	pk := res.Public
+	d := res.PrivateD
+	return pk, func(msg []byte) Signature {
+		h := hashToModulus(msg, pk.N)
+		return Signature{S: h.Exp(h, d, pk.N)}
+	}
+}
+
+// goodBatch builds k items with distinct messages, all validly signed.
+func goodBatch(k int, sign func([]byte) Signature) []BatchItem {
+	items := make([]BatchItem, k)
+	for i := range items {
+		msg := []byte(fmt.Sprintf("message %d", i))
+		items[i] = BatchItem{Msg: msg, Sig: sign(msg)}
+	}
+	return items
+}
+
+// badIndices extracts the attributed indices of a batch failure,
+// failing the test if err is not a *BatchError.
+func badIndices(t *testing.T, err error) []int {
+	t.Helper()
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("BatchError should unwrap to ErrBadSignature")
+	}
+	if len(be.Errs) != len(be.Bad) {
+		t.Fatalf("Errs (%d) not parallel to Bad (%d)", len(be.Errs), len(be.Bad))
+	}
+	return be.Bad
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBatchVerifyAllGood(t *testing.T) {
+	pk, sign := batchKey(t)
+	for _, k := range []int{2, 3, 8} {
+		res, err := BatchVerify(goodBatch(k, sign), pk, BatchOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Batched || res.Fallback {
+			t.Fatalf("k=%d: want batched without fallback, got %+v", k, res)
+		}
+	}
+}
+
+func TestBatchVerifySingleTamperedSignature(t *testing.T) {
+	pk, sign := batchKey(t)
+	for _, bad := range []int{0, 2, 4} {
+		items := goodBatch(5, sign)
+		items[bad].Sig.S = new(big.Int).Add(items[bad].Sig.S, big.NewInt(1))
+		res, err := BatchVerify(items, pk, BatchOptions{})
+		if got := badIndices(t, err); !eqInts(got, []int{bad}) {
+			t.Fatalf("tampered index %d attributed as %v", bad, got)
+		}
+		if !res.Batched || !res.Fallback {
+			t.Fatalf("want batch check then fallback, got %+v", res)
+		}
+	}
+}
+
+func TestBatchVerifySwappedMessages(t *testing.T) {
+	pk, sign := batchKey(t)
+
+	// A message swapped against a signature of something outside the
+	// batch unbalances the product: screening rejects, fallback
+	// attributes the index.
+	items := goodBatch(4, sign)
+	items[2].Sig = sign([]byte("a message not in this batch"))
+	_, err := BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{2}) {
+		t.Fatalf("out-of-batch swap attributed as %v, want [2]", got)
+	}
+
+	// Swapping two signatures *within* the batch is a permutation: the
+	// product is unchanged, so screening accepts — soundly, since every
+	// message in the batch is still authentically signed, which is the
+	// property the screen certifies. Blinding separates the items and
+	// attributes both.
+	items = goodBatch(4, sign)
+	items[1].Sig, items[3].Sig = items[3].Sig, items[1].Sig
+	res, err := BatchVerify(items, pk, BatchOptions{})
+	if err != nil || !res.Batched {
+		t.Fatalf("in-batch permutation under screening: err=%v res=%+v", err, res)
+	}
+	_, err = BatchVerify(items, pk, BatchOptions{BlindBits: 32})
+	if got := badIndices(t, err); !eqInts(got, []int{1, 3}) {
+		t.Fatalf("in-batch swap under blinding attributed as %v, want [1 3]", got)
+	}
+}
+
+func TestBatchVerifyWrongKeyCert(t *testing.T) {
+	pk, sign := batchKey(t)
+	_, otherSign := batchKey(t)
+	items := goodBatch(3, sign)
+	items[2].Sig = otherSign(items[2].Msg)
+	_, err := BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{2}) {
+		t.Fatalf("wrong-key item attributed as %v, want [2]", got)
+	}
+}
+
+func TestBatchVerifyK1(t *testing.T) {
+	pk, sign := batchKey(t)
+	items := goodBatch(1, sign)
+	if res, err := BatchVerify(items, pk, BatchOptions{}); err != nil || res.Batched {
+		t.Fatalf("k=1 good: err=%v res=%+v", err, res)
+	}
+	items[0].Sig.S.Add(items[0].Sig.S, big.NewInt(1))
+	_, err := BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{0}) {
+		t.Fatalf("k=1 bad attributed as %v", got)
+	}
+}
+
+func TestBatchVerifyAllBad(t *testing.T) {
+	pk, sign := batchKey(t)
+	items := goodBatch(4, sign)
+	for i := range items {
+		items[i].Sig.S = new(big.Int).Add(items[i].Sig.S, big.NewInt(1))
+	}
+	_, err := BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("all-bad attributed as %v", got)
+	}
+}
+
+func TestBatchVerifyEmptyAndNilSig(t *testing.T) {
+	pk, sign := batchKey(t)
+	if _, err := BatchVerify(nil, pk, BatchOptions{}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	items := goodBatch(3, sign)
+	items[1].Sig.S = nil
+	res, err := BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{1}) {
+		t.Fatalf("nil-sig attributed as %v", got)
+	}
+	if res.Batched {
+		t.Fatalf("structurally broken batch must not run the product check")
+	}
+}
+
+func TestBatchVerifyDuplicateMessagesFallBack(t *testing.T) {
+	// Screening is unsound for repeated messages, so the batch must be
+	// decided per item — and still decided correctly.
+	pk, sign := batchKey(t)
+	items := goodBatch(3, sign)
+	items[2] = BatchItem{Msg: items[0].Msg, Sig: sign(items[0].Msg)}
+	res, err := BatchVerify(items, pk, BatchOptions{})
+	if err != nil {
+		t.Fatalf("duplicate messages, all valid: %v", err)
+	}
+	if res.Batched || !res.Fallback {
+		t.Fatalf("duplicate messages must skip the product check, got %+v", res)
+	}
+	items[2].Sig.S = new(big.Int).Add(items[2].Sig.S, big.NewInt(1))
+	_, err = BatchVerify(items, pk, BatchOptions{})
+	if got := badIndices(t, err); !eqInts(got, []int{2}) {
+		t.Fatalf("duplicate-message bad item attributed as %v", got)
+	}
+}
+
+// TestBatchVerifyCancellationPair pins the screening/blinding boundary:
+// a mauled pair (S_1·x, S_2·x⁻¹) cancels in the unblinded product —
+// screening accepts it, which is sound for *distinct authentic messages*
+// (both messages really were signed; the individual signature values are
+// what is mauled) — while blinding detects and attributes it.
+func TestBatchVerifyCancellationPair(t *testing.T) {
+	pk, sign := batchKey(t)
+	items := goodBatch(2, sign)
+	x := big.NewInt(123456789)
+	xInv := new(big.Int).ModInverse(x, pk.N)
+	if xInv == nil {
+		t.Fatal("no inverse for blinding factor")
+	}
+	items[0].Sig.S.Mul(items[0].Sig.S, x).Mod(items[0].Sig.S, pk.N)
+	items[1].Sig.S.Mul(items[1].Sig.S, xInv).Mod(items[1].Sig.S, pk.N)
+
+	res, err := BatchVerify(items, pk, BatchOptions{})
+	if err != nil || !res.Batched {
+		t.Fatalf("screening must accept the cancellation pair (both messages are authentic): err=%v res=%+v", err, res)
+	}
+	_, err = BatchVerify(items, pk, BatchOptions{BlindBits: 32})
+	if got := badIndices(t, err); !eqInts(got, []int{0, 1}) {
+		t.Fatalf("blinded mode attributed cancellation pair as %v, want [0 1]", got)
+	}
+}
+
+func TestBatchVerifyBlindedAllGood(t *testing.T) {
+	pk, sign := batchKey(t)
+	res, err := BatchVerify(goodBatch(4, sign), pk, BatchOptions{BlindBits: 32})
+	if err != nil {
+		t.Fatalf("blinded all-good: %v", err)
+	}
+	if !res.Batched || res.Fallback {
+		t.Fatalf("blinded all-good: %+v", res)
+	}
+	// Blinding tolerates duplicate messages.
+	items := goodBatch(2, sign)
+	items[1] = BatchItem{Msg: items[0].Msg, Sig: sign(items[0].Msg)}
+	if res, err := BatchVerify(items, pk, BatchOptions{BlindBits: 32}); err != nil || !res.Batched {
+		t.Fatalf("blinded duplicate messages: err=%v res=%+v", err, res)
+	}
+}
+
+// TestBatchVerifyPropertyRandomBadSubsets drives randomized batches with
+// arbitrary bad subsets through both modes and checks exact attribution.
+func TestBatchVerifyPropertyRandomBadSubsets(t *testing.T) {
+	pk, sign := batchKey(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		k := 1 + rng.Intn(9)
+		items := goodBatch(k, sign)
+		var want []int
+		for i := range items {
+			if rng.Intn(3) == 0 {
+				items[i].Sig.S = new(big.Int).Add(items[i].Sig.S, big.NewInt(1+int64(rng.Intn(1000))))
+				want = append(want, i)
+			}
+		}
+		opts := BatchOptions{}
+		if trial%2 == 1 {
+			opts.BlindBits = 16
+		}
+		_, err := BatchVerify(items, pk, opts)
+		if len(want) == 0 {
+			if err != nil {
+				t.Fatalf("trial %d: clean batch rejected: %v", trial, err)
+			}
+			continue
+		}
+		if got := badIndices(t, err); !eqInts(got, want) {
+			t.Fatalf("trial %d (k=%d): attributed %v, want %v", trial, k, got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jointadmin/internal/obs"
+)
+
+// tinyProfile keeps fixture setup fast enough for the unit-test tier
+// while still exercising every request kind and the zipfian selection.
+func tinyProfile() LoadProfile {
+	return LoadProfile{
+		Principals: 500,
+		Objects:    8,
+		GroupSize:  3,
+		Keys:       4,
+		PoolSize:   24,
+		Seed:       1,
+		// Force every kind into a 24-entry pool.
+		ReadFrac:      0.4,
+		SelectiveFrac: 0.2,
+		DenyFrac:      0.2,
+	}
+}
+
+func TestLoadFixtureDecisions(t *testing.T) {
+	f, err := NewLoadFixture(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaterializedPrincipals() == 0 || f.MaterializedGroups() == 0 {
+		t.Fatalf("nothing materialized: principals=%d groups=%d",
+			f.MaterializedPrincipals(), f.MaterializedGroups())
+	}
+	kinds := map[string]int{}
+	ctx := context.Background()
+	for i := range f.Pool() {
+		pr := &f.Pool()[i]
+		kinds[pr.Kind]++
+		dec, err := f.Server.Authorize(ctx, pr.Req)
+		if dec.Allowed != pr.WantAllow {
+			t.Fatalf("pool[%d] kind=%s object=%s: allowed=%v want %v (err=%v reason=%s)",
+				i, pr.Kind, pr.Object, dec.Allowed, pr.WantAllow, err, dec.Reason)
+		}
+	}
+	for _, k := range []string{"write", "read", "selective", "deny"} {
+		if kinds[k] == 0 {
+			t.Errorf("pool has no %q requests: %v", k, kinds)
+		}
+	}
+}
+
+func TestLoadChurnKeepsOutcomes(t *testing.T) {
+	f, err := NewLoadFixture(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		verb, err := f.Churn(ctx)
+		if err != nil {
+			t.Fatalf("churn %d (%s): %v", i, verb, err)
+		}
+	}
+	// Every mutation swapped the snapshot and emptied the certificate
+	// cache; pooled requests must still decide to their expected outcome.
+	for i := range f.Pool() {
+		pr := &f.Pool()[i]
+		dec, err := f.Server.Authorize(ctx, pr.Req)
+		if dec.Allowed != pr.WantAllow {
+			t.Fatalf("post-churn pool[%d] kind=%s: allowed=%v want %v (err=%v)",
+				i, pr.Kind, dec.Allowed, pr.WantAllow, err)
+		}
+	}
+}
+
+func TestLoadRunClosedLoop(t *testing.T) {
+	f, err := NewLoadFixture(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.Server.Instrument(reg)
+	res, err := f.Run(context.Background(), RunConfig{
+		Mode:        "closed",
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		ChurnEvery:  50 * time.Millisecond,
+		Seed:        7,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Allowed == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Unexpected != 0 {
+		t.Fatalf("%d unexpected outcomes: %+v", res.Unexpected, res)
+	}
+	if res.P50Us <= 0 || res.P999Us < res.P50Us {
+		t.Fatalf("implausible latency stats: %+v", res)
+	}
+	if res.RPS <= 0 {
+		t.Fatalf("no RPS: %+v", res)
+	}
+}
+
+func TestLoadRunOpenLoop(t *testing.T) {
+	f, err := NewLoadFixture(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.Server.Instrument(reg)
+	res, err := f.Run(context.Background(), RunConfig{
+		Mode:        "open",
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		RateHz:      200,
+		Seed:        7,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Unexpected != 0 {
+		t.Fatalf("%d unexpected outcomes: %+v", res.Unexpected, res)
+	}
+	// 200 Hz for 300ms ≈ 60 arrivals; allow wide slack but catch a
+	// runaway generator.
+	if res.Sent > 120 {
+		t.Fatalf("open loop sent %d requests at 200 Hz over 300ms", res.Sent)
+	}
+}

@@ -17,15 +17,17 @@ RAW=$(mktemp)
 FORKRAW=$(mktemp)
 trap 'rm -f "$RAW" "$FORKRAW"' EXIT
 
-echo "==> go test -bench 'BenchmarkAuthorize(Serial|Parallel)' -benchtime $BENCHTIME"
+echo "==> go test -bench 'BenchmarkAuthorize(Serial|Parallel)' -benchmem -benchtime $BENCHTIME"
 go test -run '^$' -bench 'BenchmarkAuthorize(Serial|Parallel)' \
-    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+    -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 /^cpu:/      { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
     nsop[name] = $3
+    # with -benchmem: ... <ns> ns/op <bytes> B/op <allocs> allocs/op
+    allocs[name] = $7
 }
 END {
     sc = nsop["BenchmarkAuthorizeSerial/cold"]
@@ -50,13 +52,21 @@ END {
     printf "    \"concurrent_cold\": %s,\n", cc
     printf "    \"concurrent_warm\": %s\n", cw
     printf "  },\n"
+    printf "  \"allocs_per_op\": {\n"
+    printf "    \"serial_cold\": %s,\n", allocs["BenchmarkAuthorizeSerial/cold"]
+    printf "    \"serial_warm\": %s,\n", allocs["BenchmarkAuthorizeSerial/warm"]
+    printf "    \"residual_warm\": %s,\n", allocs["BenchmarkAuthorizeSerial/residual"]
+    printf "    \"fanout_warm\": %s,\n", allocs["BenchmarkAuthorizeParallel/fanout-warm"]
+    printf "    \"concurrent_cold\": %s,\n", allocs["BenchmarkAuthorizeParallel/concurrent-cold"]
+    printf "    \"concurrent_warm\": %s\n", allocs["BenchmarkAuthorizeParallel/concurrent-warm"]
+    printf "  },\n"
     printf "  \"speedup\": {\n"
     printf "    \"redesign_vs_serial_baseline\": %.2f,\n", sc / cw
     printf "    \"warm_cache_vs_cold\": %.2f,\n", sc / sw
     printf "    \"concurrency_vs_serial_warm\": %.2f,\n", sw / cw
     printf "    \"residual_vs_serial_warm\": %.2f\n", sw / rw
     printf "  },\n"
-    printf "  \"notes\": \"serial_cold is the pre-redesign baseline (serial verification, no cache); redesign_vs_serial_baseline compares it against concurrent requests on a warm cache. serial_warm and residual_warm run the same warm workload on the same harness run — warm pins the full derivation replay (residuals disabled), residual_warm decides on the checklist precompiled at snapshot publish; residual_vs_serial_warm is the payoff of residual compilation.\"\n"
+    printf "  \"notes\": \"serial_cold is the pre-redesign baseline (serial verification, no cache); redesign_vs_serial_baseline compares it against concurrent requests on a warm cache. serial_warm and residual_warm run the same warm workload on the same harness run — warm pins the full derivation replay (residuals disabled), residual_warm decides on the checklist precompiled at snapshot publish; residual_vs_serial_warm is the payoff of residual compilation. allocs_per_op comes from -benchmem; the residual series has an allocation budget asserted by TestResidualAllocsReduced (internal/authz), and these benches run with pooling at the server default.\"\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 

@@ -42,9 +42,14 @@ go test -run '^$' -bench=WALAppend -benchtime=1x ./internal/wal
 echo "==> bench smoke (go test -bench=FollowerFleet -benchtime=1x ./internal/daemon)"
 go test -run '^$' -bench=FollowerFleet -benchtime=1x ./internal/daemon
 
+echo "==> loadgen smoke (tiny coalition, 2s closed loop with churn)"
+go run ./cmd/loadgen -principals 2000 -objects 16 -keys 8 -pool 48 \
+    -duration 2s -concurrency 2 -churn-every 300ms -label smoke > /dev/null
+
 echo "==> docs lint (every CLI flag and replication metric documented)"
 fail=0
-flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z][a-z0-9-]*"' cmd/coalitiond/main.go cmd/policyctl/main.go |
+flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z][a-z0-9-]*"' \
+    cmd/coalitiond/main.go cmd/policyctl/main.go cmd/loadgen/main.go |
     sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
 for f in $flags; do
     if ! grep -rq -- "-$f" docs/; then
@@ -63,6 +68,20 @@ residual_metrics=$(grep -ohE '"authz_residual_[a-z_]+"' internal/authz/obs.go | 
 for m in $residual_metrics; do
     if ! grep -rq -- "$m" docs/; then
         echo "docs lint: residual metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+batch_metrics=$(grep -ohE '"authz_batch_verify_[a-z_]+"' internal/authz/obs.go | tr -d '"' | sort -u)
+for m in $batch_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: batch-verify metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+loadgen_metrics=$(grep -ohE '"loadgen_[a-z_]+"' internal/sim/load.go | tr -d '"' | sort -u)
+for m in $loadgen_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: loadgen metric $m not documented anywhere in docs/" >&2
         fail=1
     fi
 done
