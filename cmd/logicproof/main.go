@@ -1,13 +1,15 @@
 // Command logicproof prints the authorization-protocol derivations of
 // Section 4.3 / Appendix E as numbered proof traces: the Figure 2(b)
 // write flow (2-of-3), the Figure 2(d) read flow (1-of-3), the
-// revocation reasoning, and the residual flow (the same joint write
-// decided twice — first by the full replay, then on the precompiled
-// residual fast path — to show the two proofs coincide).
+// revocation reasoning, the residual flow (the same joint write decided
+// twice — first by the full replay, then on the precompiled residual
+// fast path — to show the two proofs coincide), and the delegation flow
+// (a bounded-depth chain composed link by link, exercised downstream,
+// then severed by a mid-chain revocation).
 //
 // It can also parse and echo formulas in the logic's canonical syntax:
 //
-//	go run ./cmd/logicproof [-flow write|read|revoke|residual]
+//	go run ./cmd/logicproof [-flow write|read|revoke|residual|delegation]
 //	go run ./cmd/logicproof -parse 'User_D1|Ku1 ⇒_[t50,t5000],AA Group(G_write)'
 package main
 
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	flow := flag.String("flow", "write", "derivation to print: write, read, revoke, or residual")
+	flow := flag.String("flow", "write", "derivation to print: write, read, revoke, residual, or delegation")
 	parse := flag.String("parse", "", "parse a formula in canonical syntax and echo its structure")
 	flag.Parse()
 	if *parse != "" {
@@ -153,8 +155,47 @@ func run(flow string) error {
 		fmt.Println(residual.Proof.String())
 		printTrace(srv, residual.RequestID)
 		printSnapshot(srv)
+	case "delegation":
+		fmt.Println("Delegation: a bounded-depth chain composed link by link.")
+		fmt.Println("AA jointly signs a root grant (User_D1, depth 1) and a chain")
+		fmt.Println("link (User_D1 > User_D2, depth 0); each acceptance derives the")
+		fmt.Println("composed root-anchored belief. The downstream grantee reads")
+		fmt.Println("through the chain; revoking the mid-chain delegator severs it.")
+		fmt.Println()
+		if err := a.Delegate("", "User_D1", "G_read", 1, []string{"read"}, srv); err != nil {
+			return err
+		}
+		if err := a.Delegate("User_D1", "User_D2", "G_read", 0, []string{"read"}, srv); err != nil {
+			return err
+		}
+		dec, err := a.Submit(context.Background(), srv, jointadmin.RequestSpec{
+			Group: "G_read", Op: "read", Object: "O",
+			Signers: []string{"User_D2"}, Delegated: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("--- delegated read through the two-link chain ---")
+		fmt.Println(dec.Proof.String())
+		printTrace(srv, dec.RequestID)
+		if err := a.RevokeDelegation("User_D1", "G_read", srv); err != nil {
+			return err
+		}
+		a.Clock().Tick()
+		_, err = a.Submit(context.Background(), srv, jointadmin.RequestSpec{
+			Group: "G_read", Op: "read", Object: "O",
+			Signers: []string{"User_D2"}, Delegated: true,
+		})
+		if !errors.Is(err, jointadmin.ErrDenied) {
+			return fmt.Errorf("expected denial after mid-chain revocation, got %v", err)
+		}
+		fmt.Println()
+		fmt.Println("After revoking User_D1, every chain routed through it is severed;")
+		fmt.Println("the same delegated request is DENIED:")
+		fmt.Printf("  %v\n", err)
+		printSnapshot(srv)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown flow %q (want write, read, revoke, or residual)\n", flow)
+		fmt.Fprintf(os.Stderr, "unknown flow %q (want write, read, revoke, residual, or delegation)\n", flow)
 		os.Exit(2)
 	}
 	return nil

@@ -17,6 +17,19 @@
 //	go run ./cmd/policyctl -server $W -cmd mutate -op crl
 //	go run ./cmd/policyctl -server $W -cmd mutate -op reanchor
 //
+// The delegation subsystem adds two verbs and a request mode. -op delegate
+// installs a delegation-link certificate — data is [delegator>]subject:
+// depth:perms (a root grant omits the delegator); -op graph-link installs
+// a group-graph edge (group is the member group, data is sup:depth); -op
+// revoke with -data severs every chain routed through the named delegate.
+// A request with -delegated routes through the lone signer's chain:
+//
+//	go run ./cmd/policyctl -server $W -cmd mutate -op delegate -group G_read -data "alice:1:read"
+//	go run ./cmd/policyctl -server $W -cmd mutate -op delegate -group G_read -data "alice>bob:0:read"
+//	go run ./cmd/policyctl -server $W -cmd mutate -op graph-link -group G_folder -data "G_read:1"
+//	go run ./cmd/policyctl -server $W -cmd mutate -op revoke -group G_read -data alice
+//	go run ./cmd/policyctl -server $W -cmd read -delegated -signers bob
+//
 // stats pretty-prints the daemon's metrics snapshot: command counters,
 // denial taxonomy, and per-step latency histograms (count / mean / p50 /
 // p99). See docs/OPERATIONS.md for the metric catalog.
@@ -53,13 +66,14 @@ import (
 
 // Command mirrors coalitiond's request type.
 type Command struct {
-	Cmd     string   `json:"cmd"`
-	Group   string   `json:"group,omitempty"`
-	Object  string   `json:"object,omitempty"`
-	Data    string   `json:"data,omitempty"`
-	Signers []string `json:"signers,omitempty"`
-	Domain  string   `json:"domain,omitempty"`
-	Op      string   `json:"op,omitempty"`
+	Cmd       string   `json:"cmd"`
+	Group     string   `json:"group,omitempty"`
+	Object    string   `json:"object,omitempty"`
+	Data      string   `json:"data,omitempty"`
+	Signers   []string `json:"signers,omitempty"`
+	Domain    string   `json:"domain,omitempty"`
+	Op        string   `json:"op,omitempty"`
+	Delegated bool     `json:"delegated,omitempty"`
 }
 
 // Reply mirrors coalitiond's response type.
@@ -83,8 +97,9 @@ func main() {
 	group := flag.String("group", "", "group name (defaults per command)")
 	object := flag.String("object", "", "object name (default O)")
 	data := flag.String("data", "", "write payload; for authorize, the signed request JSON from sign")
-	op := flag.String("op", "", "sign: permission the signed request asks for (default read); mutate: mutation verb (link, revoke, revoke-identity, crl, reanchor)")
+	op := flag.String("op", "", "sign: permission the signed request asks for (default read); mutate: mutation verb (link, revoke, revoke-identity, crl, reanchor, delegate, graph-link)")
 	signers := flag.String("signers", "", "comma-separated co-signers")
+	delegated := flag.Bool("delegated", false, "route the request through the lone signer's delegation chain")
 	domain := flag.String("domain", "", "domain for join/leave")
 	timeout := flag.Duration("timeout", 10*time.Second, "reply timeout")
 	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "transport: dial deadline for reaching the daemon")
@@ -93,13 +108,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*server, Command{
-		Cmd:     *cmd,
-		Group:   *group,
-		Object:  *object,
-		Data:    *data,
-		Signers: splitCSV(*signers),
-		Domain:  *domain,
-		Op:      *op,
+		Cmd:       *cmd,
+		Group:     *group,
+		Object:    *object,
+		Data:      *data,
+		Signers:   splitCSV(*signers),
+		Domain:    *domain,
+		Op:        *op,
+		Delegated: *delegated,
 	}, *timeout, transport.Options{
 		DialTimeout: *dialTimeout,
 		Attempts:    *sendRetries,

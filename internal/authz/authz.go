@@ -34,6 +34,7 @@ import (
 	"jointadmin/internal/acl"
 	"jointadmin/internal/audit"
 	"jointadmin/internal/clock"
+	"jointadmin/internal/delegation"
 	"jointadmin/internal/logic"
 	"jointadmin/internal/obs"
 	"jointadmin/internal/pki"
@@ -115,7 +116,14 @@ type AccessRequest struct {
 	// SingleSubject selects the A35 path using Single.
 	SingleSubject bool                      `json:"singleSubject,omitempty"`
 	Single        pki.Signed[pki.Attribute] `json:"single,omitempty"`
-	Requests      []UserRequest             `json:"requests"`
+	// Delegated selects the delegation path: Step 2 derives membership
+	// from the server's believed root-anchored delegation chain ending at
+	// Delegation's subject (depth-bounded, permission-attenuated), instead
+	// of an attribute certificate. Delegation is the chain's leaf
+	// certificate, identifying which installed chain the request invokes.
+	Delegated  bool                       `json:"delegated,omitempty"`
+	Delegation pki.Signed[pki.Delegation] `json:"delegation,omitempty"`
+	Requests   []UserRequest              `json:"requests"`
 }
 
 // Decision is the outcome of the authorization protocol.
@@ -556,6 +564,9 @@ type membershipResult struct {
 // (A38 path) or single-subject (A35 path) — consulting the verified-
 // certificate cache by fingerprint.
 func (s *Server) verifyMembership(st *state, eng *logic.Engine, req *AccessRequest, now clock.Time) (membershipResult, error) {
+	if req.Delegated {
+		return s.verifyDelegatedMembership(st, eng, req, now)
+	}
 	var (
 		out      membershipResult
 		fp       string
@@ -632,8 +643,68 @@ func (s *Server) verifyMembership(st *state, eng *logic.Engine, req *AccessReque
 	return out, nil
 }
 
+// verifyDelegatedMembership runs Step 2 for a delegation-backed request:
+// the leaf certificate (signature cached by fingerprint) identifies the
+// subject, and the membership is derived from the server's believed
+// root-anchored composed chain — the op must be inside the attenuated
+// permission set, the composed validity interval must cover now, and
+// every chain link (subject and each delegator on the path) must be
+// unrevoked.
+func (s *Server) verifyDelegatedMembership(st *state, eng *logic.Engine, req *AccessRequest, now clock.Time) (membershipResult, error) {
+	var out membershipResult
+	c := req.Delegation.Cert
+	out.group = c.Group
+	out.boundKey = map[string]string{c.Subject.Name: c.Subject.KeyID}
+	if c.Issuer != st.anchors.AAName {
+		return out, fmt.Errorf("delegation certificate from unexpected issuer %s", c.Issuer)
+	}
+	fp := pki.Fingerprint(req.Delegation)
+	if _, ok := st.cache.get(fp); ok {
+		s.reg.Counter(MetricCacheHits, "kind", "delegation").Inc()
+	} else {
+		s.reg.Counter(MetricCacheMisses, "kind", "delegation").Inc()
+		if err := pki.VerifyDelegation(req.Delegation, st.anchors.AAKey, now); err != nil {
+			return out, errors.New("delegation certificate invalid: " + err.Error())
+		}
+		st.cache.put(fp, cachedCert{
+			formula:  pki.DelegationLinkFormula(req.Delegation),
+			validity: clock.NewInterval(c.NotBefore, c.NotAfter),
+			note:     "cached: delegation leaf for " + c.Subject.Name + " in " + c.Group + " (fp " + fp + ")",
+		})
+	}
+	g := logic.G(c.Group)
+	d, dStep, ok := eng.Store().DelegationFor(c.Subject.Name, g, now)
+	if !ok {
+		// Distinguish a revoked chain link from no chain at all: the former
+		// is the per-link revocation denial the subsystem counts.
+		for _, e := range eng.Store().Delegations() {
+			dd := e.F.(logic.Delegates)
+			if dd.To.Name == c.Subject.Name && dd.G == g && dd.T.Covers(now) {
+				s.reg.Counter(delegation.MetricLinkRevocationDenials).Inc()
+				return out, fmt.Errorf("delegation derivation failed: a chain link for %s in %s is revoked as of %s",
+					c.Subject.Name, c.Group, now)
+			}
+		}
+		return out, fmt.Errorf("delegation derivation failed: no believed chain for %s in %s valid at %s",
+			c.Subject.Name, c.Group, now)
+	}
+	mem, err := logic.DelegationMember(d, string(req.Requests[0].Op), now)
+	if err != nil {
+		return out, errors.New("delegation derivation failed: " + err.Error())
+	}
+	memStep := eng.Proof().Append(logic.RuleDelegationMember, []int{dStep}, mem, now,
+		fmt.Sprintf("membership of %s in %s derived from delegation chain [%s]", c.Subject.Name, c.Group, d.Path))
+	eng.Store().Add(mem, now, memStep)
+	out.mem, out.memStep = mem, memStep
+	out.certValidity = clock.NewInterval(d.T.Time(), d.T.End())
+	return out, nil
+}
+
 // certKind names the attribute certificate kind in denial reasons.
 func certKind(req *AccessRequest) string {
+	if req.Delegated {
+		return "delegation"
+	}
 	if req.SingleSubject {
 		return "attribute"
 	}

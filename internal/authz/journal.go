@@ -121,7 +121,8 @@ func (s *Server) Rejournal(recovered []wal.Record) error {
 			continue // superseded by the recorded re-anchoring
 		}
 		switch r.Type {
-		case wal.TypeRevocation, wal.TypeIdentityRevocation, wal.TypeGroupLink:
+		case wal.TypeRevocation, wal.TypeIdentityRevocation, wal.TypeGroupLink,
+			wal.TypeDelegation, wal.TypeGroupGraphLink:
 			pending = append(pending, wal.Record{Type: r.Type, At: now, Body: r.Body})
 		}
 	}
@@ -270,6 +271,8 @@ type ReplayReport struct {
 	Revocations         int
 	IdentityRevocations int
 	GroupLinks          int
+	Delegations         int
+	GroupGraphLinks     int
 	AuditEntries        int
 	// Skipped counts belief mutations superseded by a later re-anchoring
 	// (ReplayBeliefs only).
@@ -281,8 +284,8 @@ type ReplayReport struct {
 
 // String renders the report as a one-line summary.
 func (r ReplayReport) String() string {
-	return fmt.Sprintf("replayed %d records (%d anchors, %d revocations, %d identity revocations, %d group links, %d audit entries; %d superseded) → epoch %d watermark %d",
-		r.Records, r.Anchors, r.Revocations, r.IdentityRevocations, r.GroupLinks, r.AuditEntries, r.Skipped, r.Epoch, r.Watermark)
+	return fmt.Sprintf("replayed %d records (%d anchors, %d revocations, %d identity revocations, %d group links, %d delegations, %d graph links, %d audit entries; %d superseded) → epoch %d watermark %d",
+		r.Records, r.Anchors, r.Revocations, r.IdentityRevocations, r.GroupLinks, r.Delegations, r.GroupGraphLinks, r.AuditEntries, r.Skipped, r.Epoch, r.Watermark)
 }
 
 // Replay rebuilds the server's belief state from a recovered record
@@ -339,6 +342,20 @@ func (s *Server) Replay(recs []wal.Record, policy ReplayPolicy) (ReplayReport, e
 				continue
 			}
 			rep.GroupLinks++
+			err = s.replayMutation(r)
+		case wal.TypeDelegation:
+			if superseded {
+				rep.Skipped++
+				continue
+			}
+			rep.Delegations++
+			err = s.replayMutation(r)
+		case wal.TypeGroupGraphLink:
+			if superseded {
+				rep.Skipped++
+				continue
+			}
+			rep.GroupGraphLinks++
 			err = s.replayMutation(r)
 		case wal.TypeAudit:
 			rep.AuditEntries++
@@ -417,6 +434,52 @@ func (s *Server) replayGroupLink(link pki.Signed[pki.GroupLink], r wal.Record) e
 		step := eng.Proof().Append("A3 (localized belief)", nil, f, r.At,
 			fmt.Sprintf("replayed (wal seq %d): %s ⇒ %s", r.Seq, link.Cert.Sub, link.Cert.Sup))
 		eng.Store().Add(f, r.At, step)
+		return nil, nil
+	})
+}
+
+// replayDelegation re-records an accepted delegation link: the raw link
+// is rebuilt from the recorded certificate and re-composed against the
+// chain beliefs replayed so far (depth decrement, permission and
+// interval intersection), so the store holds exactly the composed
+// delegations the live path produced — including refusals reproducing
+// in the same order.
+func (s *Server) replayDelegation(cert pki.Signed[pki.Delegation], r wal.Record) error {
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		link := pki.DelegationLinkFormula(cert)
+		s1 := eng.Proof().Append(logic.RuleDelegationCert, nil, link, r.At,
+			fmt.Sprintf("replayed (wal seq %d): delegation link to %s in %s", r.Seq, link.To.Name, link.G.Name))
+		if link.Path == "" { // root grant
+			eng.Store().Add(link, r.At, s1)
+			return nil, nil
+		}
+		parent, parentStep, ok := eng.Store().DelegationFor(link.Path, link.G, r.At)
+		if !ok {
+			return nil, fmt.Errorf("no believed chain for delegator %s in %s", link.Path, link.G.Name)
+		}
+		composed, err := logic.DelegationCompose(parent, link)
+		if err != nil {
+			return nil, err
+		}
+		s2 := eng.Proof().Append(logic.RuleDelegationCompose, []int{parentStep, s1}, composed, r.At,
+			fmt.Sprintf("replayed (wal seq %d): chain %s>%s", r.Seq, composed.Path, composed.To.Name))
+		eng.Store().Add(composed, r.At, s2)
+		return nil, nil
+	})
+}
+
+// replayGroupGraphLink re-records an accepted group-graph edge.
+func (s *Server) replayGroupGraphLink(cert pki.Signed[pki.GroupGraphLink], r wal.Record) error {
+	return s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		edge := logic.GroupGraphEdge{
+			Sub:   logic.G(cert.Cert.Sub),
+			T:     logic.During(cert.Cert.NotBefore, cert.Cert.NotAfter).On(cert.Cert.Issuer),
+			Depth: cert.Cert.Depth,
+			Sup:   logic.G(cert.Cert.Sup),
+		}
+		step := eng.Proof().Append(logic.RuleGraphEdge, nil, edge, r.At,
+			fmt.Sprintf("replayed (wal seq %d): %s ⇒<%d> %s", r.Seq, cert.Cert.Sub, cert.Cert.Depth, cert.Cert.Sup))
+		eng.Store().Add(edge, r.At, step)
 		return nil, nil
 	})
 }

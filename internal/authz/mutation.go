@@ -13,10 +13,12 @@ package authz
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"jointadmin/internal/audit"
+	"jointadmin/internal/delegation"
 	"jointadmin/internal/logic"
 	"jointadmin/internal/pki"
 	"jointadmin/internal/sharedrsa"
@@ -32,14 +34,16 @@ const (
 	VerbIdentityRevocation = "revoke-identity"
 	VerbCRL                = "crl"
 	VerbReanchor           = "reanchor"
+	VerbDelegation         = "delegate"
+	VerbGroupGraphLink     = "graph-link"
 )
 
 // Verbs lists every mutation verb, in the order the variants are
 // declared.
-var Verbs = []string{VerbGroupLink, VerbRevocation, VerbIdentityRevocation, VerbCRL, VerbReanchor}
+var Verbs = []string{VerbGroupLink, VerbRevocation, VerbIdentityRevocation, VerbCRL, VerbReanchor, VerbDelegation, VerbGroupGraphLink}
 
 // Mutation is one belief-state change, applied via Server.Apply. The
-// sum is closed: exactly the five variants below exist.
+// sum is closed: exactly the seven variants below exist.
 type Mutation interface {
 	// Verb returns the variant's wire verb.
 	Verb() string
@@ -69,6 +73,21 @@ type Revocation struct {
 	Cert pki.Signed[pki.Revocation]
 }
 
+// Delegation submits a delegation-link certificate from the AA: a root
+// grant (no delegator) or a chain extension, composed on acceptance with
+// the delegator's believed chain into a root-anchored composed
+// delegation (depth decrements, permissions and validity intersect).
+type Delegation struct {
+	Cert pki.Signed[pki.Delegation]
+}
+
+// GroupGraphLink submits a group-graph membership certificate from the
+// AA: group Sub becomes a bounded member of group Sup, extending the
+// relation graph Step 4 traverses.
+type GroupGraphLink struct {
+	Cert pki.Signed[pki.GroupGraphLink]
+}
+
 // Reanchor replaces the server's trust anchors — the re-anchoring a
 // coalition rekey (Join/Leave) requires — bumping the key epoch and
 // rebuilding the belief set.
@@ -84,6 +103,8 @@ func (GroupLink) Verb() string          { return VerbGroupLink }
 func (IdentityRevocation) Verb() string { return VerbIdentityRevocation }
 func (CRL) Verb() string                { return VerbCRL }
 func (Revocation) Verb() string         { return VerbRevocation }
+func (Delegation) Verb() string         { return VerbDelegation }
+func (GroupGraphLink) Verb() string     { return VerbGroupGraphLink }
 func (Reanchor) Verb() string           { return VerbReanchor }
 
 // Apply verifies and applies one belief mutation, publishing a new
@@ -107,6 +128,10 @@ func (s *Server) Apply(ctx context.Context, m Mutation) error {
 		return err
 	case Revocation:
 		return s.applyRevocation(v.Cert)
+	case Delegation:
+		return s.applyDelegation(v.Cert)
+	case GroupGraphLink:
+		return s.applyGroupGraphLink(v.Cert)
 	case Reanchor:
 		if v.exact {
 			s.restoreAt(v.Anchors, v.epoch)
@@ -297,6 +322,68 @@ func (s *Server) applyRevocation(rev pki.Signed[pki.Revocation]) (err error) {
 	return nil
 }
 
+// applyDelegation verifies and applies a Delegation mutation: the signed
+// link is idealized and accepted through the engine, which composes a
+// chain extension with the delegator's believed chain — refusing when
+// the delegator's remaining depth is exhausted, the permission sets are
+// disjoint, or the validity intervals do not intersect — and stores the
+// root-anchored composed delegation as a belief.
+func (s *Server) applyDelegation(cert pki.Signed[pki.Delegation]) error {
+	err := s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		now := s.clk.Now()
+		if cert.Cert.Issuer != cur.anchors.AAName {
+			return nil, fmt.Errorf("%w: delegation from untrusted issuer %s", ErrDenied, cert.Cert.Issuer)
+		}
+		if err := pki.VerifyDelegation(cert, cur.anchors.AAKey, now); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
+		if !ok {
+			return nil, fmt.Errorf("%w: no key belief for AA", ErrDenied)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeDelegation(cert), aaBelief); err != nil {
+			if errors.Is(err, logic.ErrDepthExhausted) {
+				s.reg.Counter(delegation.MetricDepthExhausted).Inc()
+			}
+			return nil, fmt.Errorf("%w: delegation derivation failed: %v", ErrDenied, err)
+		}
+		return certRecord(wal.TypeDelegation, cert, now)
+	})
+	if err != nil {
+		return err
+	}
+	s.reg.Counter(delegation.MetricChains).Inc()
+	return nil
+}
+
+// applyGroupGraphLink verifies and applies a GroupGraphLink mutation;
+// Step 4's relation walk then crosses the edge, spending one unit of
+// traversal budget and clamping the remainder to the edge's depth bound.
+func (s *Server) applyGroupGraphLink(cert pki.Signed[pki.GroupGraphLink]) error {
+	err := s.mutate(func(cur *state, eng *logic.Engine) (*wal.Record, error) {
+		now := s.clk.Now()
+		if cert.Cert.Issuer != cur.anchors.AAName {
+			return nil, fmt.Errorf("%w: group-graph link from untrusted issuer %s", ErrDenied, cert.Cert.Issuer)
+		}
+		if err := pki.VerifyGroupGraphLink(cert, cur.anchors.AAKey, now); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		aaBelief, ok := eng.Store().KeyFor(cur.anchors.AAName, now)
+		if !ok {
+			return nil, fmt.Errorf("%w: no key belief for AA", ErrDenied)
+		}
+		if _, _, err := eng.VerifyCertificate(pki.IdealizeGroupGraphLink(cert), aaBelief); err != nil {
+			return nil, fmt.Errorf("%w: group-graph derivation failed: %v", ErrDenied, err)
+		}
+		return certRecord(wal.TypeGroupGraphLink, cert, now)
+	})
+	if err != nil {
+		return err
+	}
+	s.reg.Counter(delegation.MetricGraphLinks).Inc()
+	return nil
+}
+
 // mutationOf decodes a belief-mutation WAL record into its Mutation
 // variant, so replay flows through the same sum type as live traffic.
 // Audit records are not mutations and return (nil, nil).
@@ -326,6 +413,18 @@ func mutationOf(r wal.Record) (Mutation, error) {
 			return nil, err
 		}
 		return Revocation{Cert: rev}, nil
+	case wal.TypeDelegation:
+		cert, err := pki.Unmarshal[pki.Delegation](r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Delegation{Cert: cert}, nil
+	case wal.TypeGroupGraphLink:
+		cert, err := pki.Unmarshal[pki.GroupGraphLink](r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return GroupGraphLink{Cert: cert}, nil
 	case wal.TypeAudit:
 		return nil, nil
 	default:
@@ -350,6 +449,10 @@ func (s *Server) applyReplayed(m Mutation, r wal.Record) error {
 		return s.replayIdentityRevocation(v.Cert, r)
 	case Revocation:
 		return s.replayRevocation(v.Cert, r)
+	case Delegation:
+		return s.replayDelegation(v.Cert, r)
+	case GroupGraphLink:
+		return s.replayGroupGraphLink(v.Cert, r)
 	default:
 		return fmt.Errorf("no replay for mutation %T", m)
 	}

@@ -29,33 +29,53 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"jointadmin/internal/acl"
 	"jointadmin/internal/audit"
 	"jointadmin/internal/clock"
+	"jointadmin/internal/delegation"
 	"jointadmin/internal/logic"
 	"jointadmin/internal/pki"
 	"jointadmin/internal/sharedrsa"
 )
 
-// residualEdge is one believed group link recorded into a residue; the
-// validity term is re-checked at request time.
+// residualEdge is one believed relation edge recorded into a residue —
+// a plain group link (budget-preserving) or a bounded group-graph edge;
+// the validity term is re-checked at request time.
 type residualEdge struct {
 	from, to string
 	t        logic.TimeSpec
+	// bounded marks a group-graph edge: crossing it costs one unit of
+	// traversal budget and clamps the remainder to depth.
+	bounded bool
+	depth   int
+}
+
+// residualDeleg is one believed root-anchored composed delegation
+// absorbed into a residue. The invariant chain-composition steps are in
+// the segment; interval freshness, the op-in-perms check and per-link
+// revocation stay request-time leaves.
+type residualDeleg struct {
+	d logic.Delegates
 }
 
 // residue is the compiled checklist for one (object, group) pair.
 type residue struct {
 	object, group string
 	// seg is the recorded invariant portion of the derivation: the
-	// group-link closure steps plus the compile summary, spliceable onto
-	// any proof cloned from the same sealed base.
+	// relation-graph closure steps (group links and graph edges), the
+	// absorbed delegation chains, and the compile summary, spliceable
+	// onto any proof cloned from the same sealed base.
 	seg logic.Segment
-	// edges is the link closure reachable from group, for Step 4's
-	// inheritance walk.
+	// edges is the relation closure reachable from group, for Step 4's
+	// budget-bounded inheritance walk.
 	edges []residualEdge
+	// delegs maps a subject name to its believed composed delegations for
+	// this residue's group, deepest remaining bound first (mirroring
+	// BeliefStore.DelegationFor's preference).
+	delegs map[string][]residualDeleg
 	// prefixLen and tracePrefix cache the rendering of the base proof
 	// plus the spliced segment, so an approved request renders only its
 	// leaf steps.
@@ -67,19 +87,42 @@ type residue struct {
 func resKey(object, group string) string { return object + "\x00" + group }
 
 // reachable returns group plus every group reachable from it through
-// recorded links whose validity covers now (the residual counterpart of
-// BeliefStore.EffectiveGroups).
+// recorded edges whose validity covers now — the residual counterpart of
+// BeliefStore.EffectiveGroups, running the same budget-relaxation walk:
+// group links preserve the budget, graph edges cost one unit and clamp
+// to their depth bound, and a node is re-relaxed only on a strict
+// budget improvement (cycle-safe).
 func (r *residue) reachable(group string, now clock.Time) []string {
 	out := []string{group}
 	if len(r.edges) == 0 {
 		return out
 	}
-	seen := map[string]bool{group: true}
-	for i := 0; i < len(out); i++ {
+	best := map[string]int{group: delegation.Unbounded}
+	queue := []string{group}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		budget := best[cur]
 		for _, e := range r.edges {
-			if e.from == out[i] && !seen[e.to] && e.t.Covers(now) {
-				seen[e.to] = true
-				out = append(out, e.to)
+			if e.from != cur || !e.t.Covers(now) {
+				continue
+			}
+			nb := budget
+			if e.bounded {
+				if budget < 1 {
+					continue
+				}
+				nb = budget - 1
+				if e.depth < nb {
+					nb = e.depth
+				}
+			}
+			if prev, seen := best[e.to]; !seen || nb > prev {
+				if _, seen := best[e.to]; !seen {
+					out = append(out, e.to)
+				}
+				best[e.to] = nb
+				queue = append(queue, e.to)
 			}
 		}
 	}
@@ -100,10 +143,13 @@ func (s *Server) compileResiduals(eng *logic.Engine) map[string]*residue {
 		return nil
 	}
 
-	// The believed group-link graph, recording steps and validity intact.
+	// The believed relation graph — plain group links plus bounded
+	// group-graph edges — recording steps and validity intact.
 	type linkEdge struct {
 		from, to string
 		t        logic.TimeSpec
+		bounded  bool
+		depth    int
 		baseStep int
 		f        logic.Formula
 	}
@@ -116,24 +162,75 @@ func (s *Server) compileResiduals(eng *logic.Engine) map[string]*residue {
 		adj[l.Sub.Name] = append(adj[l.Sub.Name], len(edges)-1)
 		nodes[l.Sub.Name], nodes[l.Sup.Name] = true, true
 	}
-	// reach collects every edge index reachable from g, ignoring validity
-	// (windows are checked per request), plus the groups reached.
+	for _, e := range eng.Store().GraphEdges() {
+		l := e.F.(logic.GroupGraphEdge)
+		edges = append(edges, linkEdge{from: l.Sub.Name, to: l.Sup.Name, t: l.T, bounded: true, depth: l.Depth, baseStep: e.Step, f: e.F})
+		adj[l.Sub.Name] = append(adj[l.Sub.Name], len(edges)-1)
+		nodes[l.Sub.Name], nodes[l.Sup.Name] = true, true
+	}
+	// reach collects every edge index crossable from g under the budget
+	// walk (validity windows are checked per request), plus the groups
+	// reached. An edge is recorded when it leaves a reachable node with
+	// budget to spare, so a residue never bakes in a hop the live walk
+	// could not take.
 	reach := func(g string) ([]int, map[string]bool) {
-		seen := map[string]bool{g: true}
+		best := map[string]int{g: delegation.Unbounded}
 		frontier := []string{g}
 		var out []int
+		used := make(map[int]bool)
 		for len(frontier) > 0 {
 			n := frontier[0]
 			frontier = frontier[1:]
+			budget := best[n]
 			for _, ei := range adj[n] {
-				out = append(out, ei)
-				if to := edges[ei].to; !seen[to] {
-					seen[to] = true
-					frontier = append(frontier, to)
+				e := edges[ei]
+				nb := budget
+				if e.bounded {
+					if budget < 1 {
+						continue
+					}
+					nb = budget - 1
+					if e.depth < nb {
+						nb = e.depth
+					}
+				}
+				if !used[ei] {
+					used[ei] = true
+					out = append(out, ei)
+				}
+				if prev, seen := best[e.to]; !seen || nb > prev {
+					best[e.to] = nb
+					frontier = append(frontier, e.to)
 				}
 			}
 		}
+		seen := make(map[string]bool, len(best))
+		for n := range best {
+			seen[n] = true
+		}
 		return out, seen
+	}
+
+	// The believed composed delegation chains, grouped by target group and
+	// subject, deepest remaining bound first (mirroring DelegationFor's
+	// preference so the residual and full paths pick the same chain).
+	delegsByGroup := make(map[string]map[string][]logic.Entry)
+	for _, e := range eng.Store().Delegations() {
+		d := e.F.(logic.Delegates)
+		byName := delegsByGroup[d.G.Name]
+		if byName == nil {
+			byName = make(map[string][]logic.Entry)
+			delegsByGroup[d.G.Name] = byName
+		}
+		chain := byName[d.To.Name]
+		at := len(chain)
+		for at > 0 && chain[at-1].F.(logic.Delegates).Depth < d.Depth {
+			at--
+		}
+		chain = append(chain, logic.Entry{})
+		copy(chain[at+1:], chain[at:])
+		chain[at] = e
+		byName[d.To.Name] = chain
 	}
 
 	baseProof := eng.Proof()
@@ -181,8 +278,29 @@ func (s *Server) compileResiduals(eng *logic.Engine) map[string]*residue {
 				e := edges[ei]
 				id := p.Append(logic.RuleResidualLink, []int{e.baseStep}, e.f, now,
 					fmt.Sprintf("recorded for residue (%s, %s): %s ⇒ %s", object, g, e.from, e.to))
-				redges = append(redges, residualEdge{from: e.from, to: e.to, t: e.t})
+				redges = append(redges, residualEdge{from: e.from, to: e.to, t: e.t, bounded: e.bounded, depth: e.depth})
 				premises = append(premises, id)
+			}
+			// Absorb the composed delegation chains targeting g: the
+			// chain-composition derivation is snapshot-invariant, so only
+			// the op/interval/per-link-revocation leaves remain per request.
+			var rdelegs map[string][]residualDeleg
+			if byName := delegsByGroup[g]; len(byName) > 0 {
+				rdelegs = make(map[string][]residualDeleg, len(byName))
+				subjects := make([]string, 0, len(byName))
+				for name := range byName {
+					subjects = append(subjects, name)
+				}
+				sort.Strings(subjects)
+				for _, name := range subjects {
+					for _, e := range byName[name] {
+						d := e.F.(logic.Delegates)
+						id := p.Append(logic.RuleResidualLink, []int{e.Step}, d, now,
+							fmt.Sprintf("recorded for residue (%s, %s): delegation chain to %s", object, g, name))
+						rdelegs[name] = append(rdelegs[name], residualDeleg{d: d})
+						premises = append(premises, id)
+					}
+				}
 			}
 			p.Append(logic.RuleResidualCompile, premises,
 				logic.Prop{Name: fmt.Sprintf("residual(%s, %s)", object, g)}, now,
@@ -198,6 +316,7 @@ func (s *Server) compileResiduals(eng *logic.Engine) map[string]*residue {
 				object: object, group: g,
 				seg:         seg,
 				edges:       redges,
+				delegs:      rdelegs,
 				prefixLen:   p.Len(),
 				tracePrefix: sb.String(),
 			}
@@ -260,7 +379,13 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 		memFP        string
 	)
 	boundKey := sc.boundKey
-	if req.SingleSubject {
+	if req.Delegated {
+		c := req.Delegation.Cert
+		group, issuer = c.Group, c.Issuer
+		boundKey[c.Subject.Name] = c.Subject.KeyID
+		certValidity = clock.NewInterval(c.NotBefore, c.NotAfter)
+		memFP = pki.Fingerprint(req.Delegation)
+	} else if req.SingleSubject {
 		c := req.Single.Cert
 		group, issuer = c.Group, c.Issuer
 		boundKey[c.Subject.Name] = c.Subject.KeyID
@@ -286,21 +411,37 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	if !ok {
 		return Decision{}, nil, false
 	}
-	mem, ok := memHit.formula.(logic.MemberOf)
-	if !ok {
-		return Decision{}, nil, false
-	}
-	// Membership shapes with a residual conclusion: threshold compound
-	// principal (A38) and single principal (A34/A35). Anything else goes
-	// through ConcludeGroupSays's full dispatch.
-	switch who := mem.Who.(type) {
-	case logic.Principal:
-	case logic.CompoundPrincipal:
-		if !who.IsThreshold() {
+	var (
+		mem    logic.MemberOf
+		dcands []residualDeleg
+	)
+	if req.Delegated {
+		// The cached leaf must be a delegation link and the residue must
+		// have absorbed a composed chain for the subject.
+		if _, ok := memHit.formula.(logic.Delegates); !ok {
 			return Decision{}, nil, false
 		}
-	default:
-		return Decision{}, nil, false
+		dcands = res.delegs[req.Delegation.Cert.Subject.Name]
+		if len(dcands) == 0 {
+			return Decision{}, nil, false
+		}
+	} else {
+		mem, ok = memHit.formula.(logic.MemberOf)
+		if !ok {
+			return Decision{}, nil, false
+		}
+		// Membership shapes with a residual conclusion: threshold compound
+		// principal (A38) and single principal (A34/A35). Anything else goes
+		// through ConcludeGroupSays's full dispatch.
+		switch who := mem.Who.(type) {
+		case logic.Principal:
+		case logic.CompoundPrincipal:
+			if !who.IsThreshold() {
+				return Decision{}, nil, false
+			}
+		default:
+			return Decision{}, nil, false
+		}
 	}
 	idHits := grow(sc.idHits, len(req.Identities))
 	sc.idHits = idHits
@@ -378,7 +519,9 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	}
 
 	// ---- Step 2 leaf: cached membership, re-checked for validity and
-	// revocation. ----
+	// revocation. On the delegated path the leaves are the absorbed
+	// chain's interval, the op-in-perms check, and per-link revocation
+	// (subject plus every delegator on the path). ----
 	tr.begin(StepThreshold)
 	if err := ctx.Err(); err != nil {
 		return abort(err)
@@ -386,11 +529,54 @@ func (s *Server) tryResidual(ctx context.Context, st *state, req *AccessRequest)
 	if !memHit.validity.Contains(now) {
 		return deny(group, fmt.Sprintf("%s certificate invalid: %v", certKind(req), pki.ErrExpired))
 	}
-	if store.Revoked(mem.Who, mem.G, now) {
-		return deny(group, fmt.Sprintf("membership derivation failed: membership of %s in %s revoked as of %s",
-			mem.Who, mem.G.Name, now))
+	var memStep int
+	if req.Delegated {
+		subject := req.Delegation.Cert.Subject.Name
+		var chain *logic.Delegates
+		revokedSeen := false
+		for i := range dcands {
+			d := &dcands[i].d
+			if !d.T.Covers(now) {
+				continue
+			}
+			linkRevoked := false
+			for _, name := range delegation.Links(*d) {
+				if store.Revoked(logic.P(name), logic.G(group), now) {
+					linkRevoked = true
+					break
+				}
+			}
+			if linkRevoked {
+				revokedSeen = true
+				continue
+			}
+			chain = d
+			break // deepest first: the chain DelegationFor would pick
+		}
+		if chain == nil {
+			if revokedSeen {
+				s.reg.Counter(delegation.MetricLinkRevocationDenials).Inc()
+				return deny(group, fmt.Sprintf("delegation derivation failed: a chain link for %s in %s is revoked as of %s",
+					subject, group, now))
+			}
+			return deny(group, fmt.Sprintf("delegation derivation failed: no believed chain for %s in %s valid at %s",
+				subject, group, now))
+		}
+		m, err := logic.DelegationMember(*chain, string(op), now)
+		if err != nil {
+			return deny(group, "delegation derivation failed: "+err.Error())
+		}
+		mem = m
+		certValidity = clock.NewInterval(chain.T.Time(), chain.T.End())
+		memStep = pr.Append(logic.RuleResidualLeaf, nil, mem, now,
+			"membership of "+subject+" in "+group+" derived from the absorbed delegation chain ["+chain.Path+"]")
+	} else {
+		if store.Revoked(mem.Who, mem.G, now) {
+			return deny(group, fmt.Sprintf("membership derivation failed: membership of %s in %s revoked as of %s",
+				mem.Who, mem.G.Name, now))
+		}
+		memStep = pr.Append(logic.RuleResidualLeaf, nil, mem, now, memHit.note)
 	}
-	memStep := pr.Append(logic.RuleResidualLeaf, nil, mem, now, memHit.note)
 
 	// ---- Step 3 leaves: structural checks, RSA co-signature
 	// verification on the parallel fan-out, signed-utterance steps. ----

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,10 +48,14 @@ type Command struct {
 	Data string `json:"data,omitempty"`
 	// Op is the permission a sign command requests (default "read"), or
 	// the mutation verb of a mutate command (one per authz.Mutation
-	// variant: link, revoke, revoke-identity, crl, reanchor).
+	// variant: link, revoke, revoke-identity, crl, reanchor, delegate,
+	// graph-link).
 	Op string `json:"op,omitempty"`
 	// Signers are the co-signing users of a joint request.
 	Signers []string `json:"signers,omitempty"`
+	// Delegated routes a write/read/sign command through the lone
+	// signer's delegation chain instead of a group certificate.
+	Delegated bool `json:"delegated,omitempty"`
 	// Domain is the subject of join/leave.
 	Domain string `json:"domain,omitempty"`
 }
@@ -401,6 +406,7 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		dec, err := a.Submit(ctx, srv, jointadmin.RequestSpec{
 			Group: group(cmd.Group, "G_write"), Op: "write",
 			Object: d.objectOf(cmd), Payload: []byte(cmd.Data), Signers: cmd.Signers,
+			Delegated: cmd.Delegated,
 		})
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
@@ -410,6 +416,7 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		dec, err := a.Submit(ctx, srv, jointadmin.RequestSpec{
 			Group: group(cmd.Group, "G_read"), Op: "read",
 			Object: d.objectOf(cmd), Signers: cmd.Signers,
+			Delegated: cmd.Delegated,
 		})
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
@@ -438,6 +445,7 @@ func (d *Daemon) handle(ctx context.Context, cmd Command) (Reply, string) {
 		req, err := a.NewRequest(jointadmin.RequestSpec{
 			Group: group(cmd.Group, "G_read"), Op: opOf(cmd),
 			Object: d.objectOf(cmd), Payload: []byte(cmd.Data), Signers: cmd.Signers,
+			Delegated: cmd.Delegated,
 		})
 		if err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
@@ -500,10 +508,55 @@ func (d *Daemon) mutate(cmd Command) (Reply, string) {
 		}
 		return Reply{OK: true, Detail: fmt.Sprintf("linked %s ⇒ %s", cmd.Group, cmd.Data)}, ""
 	case authz.VerbRevocation:
+		if cmd.Data != "" {
+			// Non-empty data names a delegate: sever every chain routed
+			// through that subject in the group.
+			g := group(cmd.Group, "G_write")
+			if err := a.RevokeDelegation(cmd.Data, g, srv); err != nil {
+				return Reply{Detail: err.Error()}, errClass(err)
+			}
+			return Reply{OK: true, Detail: fmt.Sprintf("revoked delegation of %s in %s", cmd.Data, g)}, ""
+		}
 		if err := a.Revoke(group(cmd.Group, "G_write"), srv); err != nil {
 			return Reply{Detail: err.Error()}, errClass(err)
 		}
 		return Reply{OK: true, Detail: "revoked " + group(cmd.Group, "G_write")}, ""
+	case authz.VerbDelegation:
+		if cmd.Group == "" || cmd.Data == "" {
+			return Reply{Detail: "mutate delegate needs group and data ([delegator>]subject:depth:perms)"}, "bad_args"
+		}
+		delegator, spec := "", cmd.Data
+		if head, rest, ok := strings.Cut(spec, ">"); ok {
+			delegator, spec = head, rest
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return Reply{Detail: "mutate delegate data must be [delegator>]subject:depth:perms"}, "bad_args"
+		}
+		depth, err := strconv.Atoi(parts[1])
+		if err != nil || depth < 0 {
+			return Reply{Detail: "mutate delegate: bad depth " + parts[1]}, "bad_args"
+		}
+		if err := a.Delegate(delegator, parts[0], cmd.Group, depth, strings.Split(parts[2], ","), srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("delegated %s in %s (depth %d, perms %s)", parts[0], cmd.Group, depth, parts[2])}, ""
+	case authz.VerbGroupGraphLink:
+		if cmd.Group == "" || cmd.Data == "" {
+			return Reply{Detail: "mutate graph-link needs group (sub) and data (sup:depth)"}, "bad_args"
+		}
+		sup, depthStr, ok := strings.Cut(cmd.Data, ":")
+		if !ok {
+			return Reply{Detail: "mutate graph-link data must be sup:depth"}, "bad_args"
+		}
+		depth, err := strconv.Atoi(depthStr)
+		if err != nil || depth < 0 {
+			return Reply{Detail: "mutate graph-link: bad depth " + depthStr}, "bad_args"
+		}
+		if err := a.LinkGroupGraph(cmd.Group, sup, depth, srv); err != nil {
+			return Reply{Detail: err.Error()}, errClass(err)
+		}
+		return Reply{OK: true, Detail: fmt.Sprintf("graph-linked %s ⇒ %s (depth %d)", cmd.Group, sup, depth)}, ""
 	case authz.VerbIdentityRevocation:
 		if cmd.Data == "" {
 			return Reply{Detail: "mutate revoke-identity needs data (user)"}, "bad_args"

@@ -116,10 +116,48 @@ func TestDaemonMutateVerbs(t *testing.T) {
 	if r.OK || !strings.Contains(r.Detail, "unknown mutation verb") {
 		t.Fatalf("unknown verb: %+v", r)
 	}
-	for _, verb := range []string{"link", "revoke", "revoke-identity", "crl", "reanchor"} {
+	for _, verb := range []string{"link", "revoke", "revoke-identity", "crl", "reanchor", "delegate", "graph-link"} {
 		if !strings.Contains(r.Detail, verb) {
 			t.Errorf("verb listing missing %q: %s", verb, r.Detail)
 		}
+	}
+}
+
+// TestDaemonDelegationVerbs drives the delegation subsystem end to end
+// through daemon commands: a root grant enables a delegated read, a chain
+// link attenuates it, revoking the mid-chain delegate severs the chain,
+// and a graph link routes membership across groups.
+func TestDaemonDelegationVerbs(t *testing.T) {
+	d := newDaemon(t)
+	ctx := context.Background()
+	// Root grant: alice may read (and delegate one more hop).
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "delegate", Group: "G_read", Data: "alice:1:read"}); !r.OK {
+		t.Fatalf("mutate delegate root: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "read", Delegated: true, Signers: []string{"alice"}}); !r.OK {
+		t.Fatalf("delegated read by alice: %+v", r)
+	}
+	// Chain link: alice passes read on to bob (no further hops).
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "delegate", Group: "G_read", Data: "alice>bob:0:read"}); !r.OK {
+		t.Fatalf("mutate delegate chain: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "read", Delegated: true, Signers: []string{"bob"}}); !r.OK {
+		t.Fatalf("delegated read by bob: %+v", r)
+	}
+	// bob's depth is exhausted: a further hop must be refused.
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "delegate", Group: "G_read", Data: "bob>carol:0:read"}); r.OK {
+		t.Fatalf("delegation beyond depth bound approved: %+v", r)
+	}
+	// Revoking alice mid-chain severs bob's chain too.
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "revoke", Group: "G_read", Data: "alice"}); !r.OK {
+		t.Fatalf("mutate revoke delegation: %+v", r)
+	}
+	if r := d.Handle(ctx, Command{Cmd: "read", Delegated: true, Signers: []string{"bob"}}); r.OK {
+		t.Fatal("delegated read approved after mid-chain revocation")
+	}
+	// Graph link: members of G_write reach G_read's privileges.
+	if r := d.Handle(ctx, Command{Cmd: "mutate", Op: "graph-link", Group: "G_write", Data: "G_read:1"}); !r.OK {
+		t.Fatalf("mutate graph-link: %+v", r)
 	}
 }
 

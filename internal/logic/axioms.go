@@ -56,6 +56,11 @@ const (
 	// recorded when the certificate was first verified under the same
 	// snapshot.
 	RuleResidualLeaf = "residual (leaf check)"
+	// Delegation & relationship subsystem rules (delegation.go).
+	RuleDelegationCert    = "delegation (certificate link)"
+	RuleDelegationCompose = "delegation (chain composition)"
+	RuleDelegationMember  = "delegation (derived membership)"
+	RuleGraphEdge         = "group graph (certificate edge)"
 )
 
 // Sentinel errors callers can match on.
@@ -66,6 +71,9 @@ var (
 	ErrTimeMismatch = errors.New("temporal side condition failed")
 	// ErrThresholdNotMet indicates fewer than m valid co-signers.
 	ErrThresholdNotMet = errors.New("threshold not met")
+	// ErrDepthExhausted indicates a delegation chain extended beyond its
+	// delegable depth bound.
+	ErrDepthExhausted = errors.New("delegation depth exhausted")
 )
 
 // A1 is belief modus ponens: P believes φ ∧ P believes (φ ⊃ ψ) ⊢ P believes

@@ -1,0 +1,161 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jointadmin/internal/clock"
+)
+
+// This file implements the delegation-chain axioms of the SPKI-style
+// extension (after Halpern–van der Meyden's logical reconstruction):
+// bounded-depth delegation links compose by decrementing depth,
+// intersecting permission sets, and intersecting validity intervals, and
+// a composed delegation yields ordinary group membership for the
+// permitted operations. Like the Appendix B schemas in axioms.go, each
+// axiom is a pure checked function the Engine wires into proofs.
+
+// PermsAll is the wildcard permission set (OpenFGA's public wildcard):
+// every operation is permitted and intersection leaves the other side
+// unchanged.
+const PermsAll = "*"
+
+// CanonicalPerms renders an operation list in canonical form: sorted,
+// deduplicated, comma-joined. Any wildcard member collapses the set to
+// PermsAll. An empty list renders as "" (an invalid, empty set).
+func CanonicalPerms(ops []string) string {
+	seen := make(map[string]bool, len(ops))
+	out := make([]string, 0, len(ops))
+	for _, op := range ops {
+		op = strings.TrimSpace(op)
+		if op == PermsAll {
+			return PermsAll
+		}
+		if op == "" || seen[op] {
+			continue
+		}
+		seen[op] = true
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// PermsAllow reports whether the canonical set permits the operation.
+func PermsAllow(perms, op string) bool {
+	if perms == PermsAll {
+		return op != ""
+	}
+	for _, p := range strings.Split(perms, ",") {
+		if p == op {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectPerms intersects two canonical permission sets, with the
+// wildcard as identity. An empty intersection is an error: a delegation
+// that can authorize nothing is a schema mismatch, not a valid link.
+func IntersectPerms(a, b string) (string, error) {
+	if a == PermsAll {
+		return b, nil
+	}
+	if b == PermsAll {
+		return a, nil
+	}
+	in := make(map[string]bool)
+	for _, p := range strings.Split(a, ",") {
+		in[p] = true
+	}
+	var out []string
+	for _, p := range strings.Split(b, ",") {
+		if in[p] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return "", fmt.Errorf("permission sets {%s} and {%s} are disjoint: %w", a, b, ErrSchemaMismatch)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ","), nil
+}
+
+// PathNames splits a composed chain path into its delegator names (empty
+// for a root grant).
+func PathNames(path string) []string {
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, ">")
+}
+
+// DelegationCompose is the chain-composition axiom:
+//
+//	D(root→…→P, d_p, π_p, T_p) ∧ D(P→Q, d_l, π_l, T_l) ∧ d_p ≥ 1
+//	⊢ D(root→…→P→Q, min(d_l, d_p−1), π_p ∩ π_l, T_p ∩ T_l)
+//
+// parent is a composed (root-anchored) delegation belief for the
+// delegator; link is a raw certificate link whose Path names that
+// delegator. Depth decrements across the hop, permissions and validity
+// intervals intersect, and the conclusion's path extends the parent's by
+// the delegator's name — so every stored Delegates belief witnesses a
+// complete chain and names every link for per-link revocation checks.
+func DelegationCompose(parent, link Delegates) (Delegates, error) {
+	if parent.G != link.G {
+		return Delegates{}, fmt.Errorf("compose: groups differ (%s vs %s): %w",
+			parent.G.Name, link.G.Name, ErrSchemaMismatch)
+	}
+	if link.Path != parent.To.Name {
+		return Delegates{}, fmt.Errorf("compose: link delegator %q is not the parent subject %q: %w",
+			link.Path, parent.To.Name, ErrSchemaMismatch)
+	}
+	if parent.Depth < 1 {
+		return Delegates{}, fmt.Errorf("compose: %s cannot extend the chain: %w",
+			parent.To.Name, ErrDepthExhausted)
+	}
+	if parent.T.Kind != AllOf || link.T.Kind != AllOf {
+		return Delegates{}, fmt.Errorf("compose: delegations need closed validity intervals: %w", ErrSchemaMismatch)
+	}
+	iv, ok := parent.T.Interval.Intersect(link.T.Interval)
+	if !ok {
+		return Delegates{}, fmt.Errorf("compose: validity %s and %s never overlap: %w",
+			parent.T.Interval, link.T.Interval, ErrTimeMismatch)
+	}
+	perms, err := IntersectPerms(parent.Perms, link.Perms)
+	if err != nil {
+		return Delegates{}, err
+	}
+	depth := link.Depth
+	if parent.Depth-1 < depth {
+		depth = parent.Depth - 1
+	}
+	path := parent.To.Name
+	if parent.Path != "" {
+		path = parent.Path + ">" + parent.To.Name
+	}
+	return Delegates{
+		To:    link.To,
+		G:     link.G,
+		Depth: depth,
+		Perms: perms,
+		Path:  path,
+		T:     TimeSpec{Kind: AllOf, Interval: iv, Observer: parent.T.Observer},
+	}, nil
+}
+
+// DelegationMember is the derived-membership axiom: a composed delegation
+// whose permission set includes op and whose validity covers t yields
+// ordinary key-bound group membership, "D(…→Q, d, π, T) ∧ op ∈ π ⊢
+// Q|K ⇒_T G". The conclusion feeds the unchanged A35 member-says chain.
+func DelegationMember(d Delegates, op string, at clock.Time) (MemberOf, error) {
+	if !PermsAllow(d.Perms, op) {
+		return MemberOf{}, fmt.Errorf("delegated permissions {%s} do not include %q: %w",
+			d.Perms, op, ErrSchemaMismatch)
+	}
+	if err := membershipCovers(d.T, at); err != nil {
+		return MemberOf{}, err
+	}
+	return MemberOf{Who: d.To, T: d.T, G: d.G}, nil
+}

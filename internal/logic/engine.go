@@ -320,6 +320,95 @@ func (e *Engine) AcceptGroupLinkCertificate(says Says, saysStep int) (GroupSpeak
 	return link, s3, nil
 }
 
+// AcceptDelegationCertificate accepts a delegation-link certificate: from
+// "AA says (Q|K delegated^d{π}[delegator] for G)" and AA's membership
+// jurisdiction (delegations are membership-granting statements), conclude
+// the root-anchored composed delegation. A root grant (empty path) is
+// believed directly; a chain link is composed with the believed chain of
+// its delegator — depth decrements, permissions and validity intersect —
+// and acceptance is refused when the delegator's chain is missing, the
+// delegator's depth is exhausted, or the subject is already revoked.
+func (e *Engine) AcceptDelegationCertificate(says Says, saysStep int) (Delegates, int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return Delegates{}, 0, fmt.Errorf("delegation: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	link, ok := body.F.(Delegates)
+	if !ok {
+		return Delegates{}, 0, fmt.Errorf("delegation: body is not a delegation link: %w", ErrSchemaMismatch)
+	}
+	mj, ok := e.store.MembershipJurisdictionFor(says.Who.String())
+	if !ok {
+		return Delegates{}, 0, fmt.Errorf("delegation: no membership jurisdiction held for %s", says.Who)
+	}
+	if e.store.Revoked(link.To, link.G, now) {
+		return Delegates{}, 0, fmt.Errorf("delegation: subject %s revoked in %s as of %s",
+			link.To, link.G.Name, now)
+	}
+	ctrl := Controls{Who: mj.Authority, T: says.T, F: link}
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrl, now,
+		"instantiate membership-jurisdiction schema over delegation link")
+	located, err := A22Jurisdiction(ctrl, says)
+	if err != nil {
+		return Delegates{}, 0, err
+	}
+	s2 := e.proof.Append(RuleA24GroupJuris, []int{saysStep, s1}, located, now, "")
+	s3 := e.proof.Append(RuleDelegationCert, []int{s2}, link, now, "delegation certificate link")
+
+	if link.Path == "" { // root grant: believed as-is
+		e.store.Add(link, now, s3)
+		return link, s3, nil
+	}
+	if e.store.Revoked(P(link.Path), link.G, now) {
+		return Delegates{}, 0, fmt.Errorf("delegation: delegator %s revoked in %s as of %s",
+			link.Path, link.G.Name, now)
+	}
+	parent, parentStep, ok := e.store.DelegationFor(link.Path, link.G, now)
+	if !ok {
+		return Delegates{}, 0, fmt.Errorf("delegation: no believed chain for delegator %s in %s",
+			link.Path, link.G.Name)
+	}
+	composed, err := DelegationCompose(parent, link)
+	if err != nil {
+		return Delegates{}, 0, fmt.Errorf("delegation: %w", err)
+	}
+	s4 := e.proof.Append(RuleDelegationCompose, []int{parentStep, s3}, composed, now,
+		fmt.Sprintf("chain %s>%s", composed.Path, composed.To.Name))
+	e.store.Add(composed, now, s4)
+	return composed, s4, nil
+}
+
+// AcceptGroupGraphCertificate accepts a group-graph membership
+// certificate: from "AA says (G1 ⇒<d> G2)" and AA's membership
+// jurisdiction, conclude the bounded graph edge.
+func (e *Engine) AcceptGroupGraphCertificate(says Says, saysStep int) (GroupGraphEdge, int, error) {
+	now := e.clk.Now()
+	body, ok := says.X.(MsgFormula)
+	if !ok {
+		return GroupGraphEdge{}, 0, fmt.Errorf("group graph: body is not a formula: %w", ErrSchemaMismatch)
+	}
+	edge, ok := body.F.(GroupGraphEdge)
+	if !ok {
+		return GroupGraphEdge{}, 0, fmt.Errorf("group graph: body is not G1 ⇒<d> G2: %w", ErrSchemaMismatch)
+	}
+	mj, ok := e.store.MembershipJurisdictionFor(says.Who.String())
+	if !ok {
+		return GroupGraphEdge{}, 0, fmt.Errorf("group graph: no membership jurisdiction held for %s", says.Who)
+	}
+	ctrl := Controls{Who: mj.Authority, T: says.T, F: edge}
+	s1 := e.proof.Append(RuleInstantiate, []int{saysStep}, ctrl, now,
+		"instantiate membership-jurisdiction schema over graph edge")
+	located, err := A22Jurisdiction(ctrl, says)
+	if err != nil {
+		return GroupGraphEdge{}, 0, err
+	}
+	s2 := e.proof.Append(RuleA24GroupJuris, []int{saysStep, s1}, located, now, "")
+	s3 := e.proof.Append(RuleGraphEdge, []int{s2}, edge, now, "group-graph membership edge")
+	e.store.Add(edge, now, s3)
+	return edge, s3, nil
+}
+
 // VerifyCertificate runs the full chain receive → A10 → accuracy → accept
 // for an idealized certificate message, dispatching on the certificate
 // body (key certificate vs membership certificate). issuerKey is the
@@ -356,6 +445,18 @@ func (e *Engine) VerifyCertificate(cert Signed, issuerKey KeySpeaksFor) (Formula
 		return f, id, nil
 	case GroupSpeaksFor:
 		f, id, err := e.AcceptGroupLinkCertificate(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return f, id, nil
+	case Delegates:
+		f, id, err := e.AcceptDelegationCertificate(says, as)
+		if err != nil {
+			return nil, 0, fmt.Errorf("verify certificate: %w", err)
+		}
+		return f, id, nil
+	case GroupGraphEdge:
+		f, id, err := e.AcceptGroupGraphCertificate(says, as)
 		if err != nil {
 			return nil, 0, fmt.Errorf("verify certificate: %w", err)
 		}

@@ -277,6 +277,58 @@ func (g GroupSays) String() string {
 	return g.G.String() + " says_" + g.T.String() + " " + g.X.String()
 }
 
+// ---- Delegation & relationship extension (SPKI/ReBAC) ----
+
+// Delegates is "P|K delegated^d{perms}[path] for G during T": subject To
+// holds authority over group G's operations in perms, may extend the
+// chain d more hops, and received that authority along path (">"-joined
+// delegator names from the coalition root; "" for a direct root grant).
+// As a certificate link the Path is the single delegator name; chain
+// composition (DelegationCompose) rewrites it to the full root-anchored
+// path, so a stored Delegates belief always witnesses a complete chain.
+// All fields are comparable so the node can index the belief store.
+type Delegates struct {
+	To    Principal
+	G     Group
+	Depth int
+	Perms string
+	Path  string
+	T     TimeSpec
+}
+
+var _ Formula = Delegates{}
+
+func (Delegates) formulaNode() {}
+
+// String renders "W delegated^d{perms}[path] ⇒_T Group(G)" — the digit
+// and braces keep it disjoint from every MemberOf rendering.
+func (d Delegates) String() string {
+	return fmt.Sprintf("%s delegated^%d{%s}[%s] ⇒_%s %s",
+		d.To.String(), d.Depth, d.Perms, d.Path, d.T.String(), d.G.String())
+}
+
+// GroupGraphEdge is "G1 ⇒<d>_T G2": group G1 is a member of group G2 in
+// the relation graph, with a traversal budget of d further graph edges
+// beyond this one. Unlike GroupSpeaksFor (unbounded privilege
+// inheritance), graph edges decrement the budget, so derived membership
+// through the relation graph is depth-bounded and cycle-safe.
+type GroupGraphEdge struct {
+	Sub   Group
+	T     TimeSpec
+	Depth int
+	Sup   Group
+}
+
+var _ Formula = GroupGraphEdge{}
+
+func (GroupGraphEdge) formulaNode() {}
+
+// String renders "Group(G1) ⇒<d>_T Group(G2)" — the bracketed depth
+// keeps it disjoint from GroupSpeaksFor's "⇒_" rendering.
+func (g GroupGraphEdge) String() string {
+	return fmt.Sprintf("%s ⇒<%d>_%s %s", g.Sub.String(), g.Depth, g.T.String(), g.Sup.String())
+}
+
 // ---- F17–F18: freshness ----
 
 // Fresh is "fresh_{T,W} X": message X has not been said before in the run,

@@ -462,20 +462,160 @@ func (b *BeliefStore) GroupLinksFrom(sub Group, t clock.Time) []Group {
 	return out
 }
 
-// EffectiveGroups returns the inheritance closure of g at time t: g itself
-// plus every group reachable through GroupSpeaksFor links.
+// unboundedBudget is the traversal budget of the start group: effectively
+// infinite, so plain GroupSpeaksFor closures behave exactly as before the
+// graph extension.
+const unboundedBudget = 1 << 30
+
+// EffectiveGroups returns the relation closure of g at time t: g itself,
+// every group reachable through GroupSpeaksFor links (which preserve the
+// traversal budget), and every group reachable through bounded
+// GroupGraphEdge links. Crossing a graph edge costs one unit of budget and
+// clamps the remainder to the edge's own depth bound — SPKI's delegation
+// bit lifted to the relation graph — so the walk is depth-bounded and
+// terminates on cyclic graphs: a group is re-visited only when a new path
+// strictly improves its remaining budget.
 func (b *BeliefStore) EffectiveGroups(g Group, t clock.Time) []Group {
-	seen := map[string]bool{g.Name: true}
+	best := map[string]int{g.Name: unboundedBudget}
 	out := []Group{g}
-	for i := 0; i < len(out); i++ {
-		for _, sup := range b.GroupLinksFrom(out[i], t) {
-			if !seen[sup.Name] {
-				seen[sup.Name] = true
-				out = append(out, sup)
+	queue := []Group{g}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		budget := best[cur.Name]
+		for _, sup := range b.GroupLinksFrom(cur, t) {
+			if prev, seen := best[sup.Name]; !seen || budget > prev {
+				if _, seen := best[sup.Name]; !seen {
+					out = append(out, sup)
+				}
+				best[sup.Name] = budget
+				queue = append(queue, sup)
+			}
+		}
+		if budget < 1 {
+			continue // graph edges need remaining budget
+		}
+		for _, edge := range b.GraphEdgesFrom(cur, t) {
+			nb := budget - 1
+			if edge.Depth < nb {
+				nb = edge.Depth
+			}
+			if prev, seen := best[edge.Sup.Name]; !seen || nb > prev {
+				if _, seen := best[edge.Sup.Name]; !seen {
+					out = append(out, edge.Sup)
+				}
+				best[edge.Sup.Name] = nb
+				queue = append(queue, edge.Sup)
 			}
 		}
 	}
 	return out
+}
+
+// GraphEdges returns every believed GroupGraphEdge entry, with recording
+// step and validity term intact (the residual compiler re-checks validity
+// at request time, like GroupLinks).
+func (b *BeliefStore) GraphEdges() []Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Entry
+	b.forEachLocked(func(e Entry) bool {
+		if _, ok := e.F.(GroupGraphEdge); ok {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// GraphEdgesFrom returns the group-graph edges leaving sub that are in
+// force at time t.
+func (b *BeliefStore) GraphEdgesFrom(sub Group, t clock.Time) []GroupGraphEdge {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []GroupGraphEdge
+	b.forEachLocked(func(e Entry) bool {
+		edge, ok := e.F.(GroupGraphEdge)
+		if !ok || edge.Sub != sub {
+			return true
+		}
+		if !edge.T.Covers(t) {
+			return true
+		}
+		out = append(out, edge)
+		return true
+	})
+	return out
+}
+
+// Delegations returns every believed composed Delegates entry.
+func (b *BeliefStore) Delegations() []Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Entry
+	b.forEachLocked(func(e Entry) bool {
+		if _, ok := e.F.(Delegates); ok {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// DelegationsFor returns every believed composed delegation ending at the
+// named subject for group g that is valid at t with every chain link
+// unrevoked (per-link revocation: revoking any delegator on the path kills
+// the downstream grant).
+func (b *BeliefStore) DelegationsFor(name string, g Group, t clock.Time) []Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Entry
+	b.forEachLocked(func(e Entry) bool {
+		d, ok := e.F.(Delegates)
+		if !ok || d.G != g || d.To.Name != name {
+			return true
+		}
+		if !d.T.Covers(t) || b.delegationRevokedLocked(d, t) {
+			return true
+		}
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// DelegationFor returns one believed composed delegation for (name, g)
+// valid at t with every link unrevoked, preferring the chain with the
+// deepest remaining bound (so chain extension never fails spuriously when
+// a more capable chain exists). The step of the entry is returned for
+// proof citation.
+func (b *BeliefStore) DelegationFor(name string, g Group, t clock.Time) (Delegates, int, bool) {
+	var (
+		out   Delegates
+		step  int
+		found bool
+	)
+	for _, e := range b.DelegationsFor(name, g, t) {
+		d := e.F.(Delegates)
+		if !found || d.Depth > out.Depth {
+			out, step, found = d, e.Step, true
+		}
+	}
+	return out, step, found
+}
+
+// delegationRevokedLocked reports whether any principal on the chain —
+// the subject or any delegator on the path — is revoked in d.G as of t.
+func (b *BeliefStore) delegationRevokedLocked(d Delegates, t clock.Time) bool {
+	if b.revokedLocked(d.To, d.G, t) {
+		return true
+	}
+	for _, name := range PathNames(d.Path) {
+		if b.revokedLocked(P(name), d.G, t) {
+			return true
+		}
+	}
+	return false
 }
 
 // Schemas returns the jurisdiction schema beliefs matching the predicate.

@@ -93,6 +93,10 @@ func Eval(r *Run, t clock.Time, f logic.Formula) (bool, error) {
 		return evalQuant(r, t, v.T, func(tt clock.Time) (bool, error) {
 			return Eval(r, tt, v.F)
 		})
+	case logic.Delegates:
+		return evalDelegates(r, t, v), nil
+	case logic.GroupGraphEdge:
+		return evalGraphEdge(r, t, v), nil
 	default:
 		return false, fmt.Errorf("eval: unsupported formula %T", f)
 	}
@@ -435,6 +439,46 @@ func thresholdUtters(r *Run, cp logic.CompoundPrincipal, t clock.Time, x logic.M
 		}
 	}
 	return count >= cp.Threshold()
+}
+
+// evalDelegates: delegated authority is a policy atom, not a temporal
+// assertion — it is true at t iff it is live at t (its validity interval
+// contains t) and the run's delegation policy admits a composed fact that
+// covers it: same subject, group and chain path, at least the claimed
+// remaining depth, a permission set whose intersection with the claim
+// leaves the claim intact, and its own validity containing t.
+func evalDelegates(r *Run, t clock.Time, v logic.Delegates) bool {
+	if !v.T.Covers(t) {
+		return false
+	}
+	for _, d := range r.Delegations[v.G.Name] {
+		if d.To.String() != v.To.String() || d.Path != v.Path || d.Depth < v.Depth {
+			continue
+		}
+		if !d.T.Covers(t) {
+			continue
+		}
+		if inter, err := logic.IntersectPerms(d.Perms, v.Perms); err != nil || inter != v.Perms {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// evalGraphEdge: a group-graph edge is true at t iff the run's relation
+// graph admits an edge between the same groups that is live at t and
+// offers at least the claimed traversal budget.
+func evalGraphEdge(r *Run, t clock.Time, v logic.GroupGraphEdge) bool {
+	if !v.T.Covers(t) {
+		return false
+	}
+	for _, e := range r.GraphEdges {
+		if e.Sub.Name == v.Sub.Name && e.Sup.Name == v.Sup.Name && e.Depth >= v.Depth && e.T.Covers(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // evalControls: "P controls_t φ iff P says_t φ implies φ at_P t".

@@ -157,16 +157,34 @@ type Run struct {
 	// subject (the semantic ACL). Subjects carry their structure so the
 	// evaluator can enforce key bindings and thresholds.
 	GroupAuth map[string]map[string]logic.Subject
-	End       clock.Time
+	// Delegations maps group name -> the composed delegation facts the
+	// run admits (the semantic counterpart of the coalition's delegation
+	// policy; a Delegates formula is true when an admitted fact covers it).
+	Delegations map[string][]logic.Delegates
+	// GraphEdges is the run's relation graph: the group-graph edges the
+	// coalition's policy admits.
+	GraphEdges []logic.GroupGraphEdge
+	End        clock.Time
 }
 
 // NewRun returns an empty run ending at end.
 func NewRun(end clock.Time) *Run {
 	return &Run{
-		Traces:    make(map[string]*Trace),
-		GroupAuth: make(map[string]map[string]logic.Subject),
-		End:       end,
+		Traces:      make(map[string]*Trace),
+		GroupAuth:   make(map[string]map[string]logic.Subject),
+		Delegations: make(map[string][]logic.Delegates),
+		End:         end,
 	}
+}
+
+// AddDelegation admits a composed delegation fact into the run's policy.
+func (r *Run) AddDelegation(d logic.Delegates) {
+	r.Delegations[d.G.Name] = append(r.Delegations[d.G.Name], d)
+}
+
+// AddGraphEdge admits a group-graph edge into the run's relation graph.
+func (r *Run) AddGraphEdge(e logic.GroupGraphEdge) {
+	r.GraphEdges = append(r.GraphEdges, e)
 }
 
 // Trace returns the trace for the named principal, creating it on demand.

@@ -1,0 +1,193 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jointadmin/internal/clock"
+	"jointadmin/internal/delegation"
+	"jointadmin/internal/logic"
+)
+
+// The eight-scenario ReBAC suite at the semantic level: each scenario of
+// the delegation.Scenarios catalog is realized as a Run whose delegation
+// policy and relation graph admit exactly the facts the scenario grants,
+// and the truth conditions (Eval on Delegates / GroupGraphEdge) must find
+// or refuse the claim as the catalog specifies. The same catalog drives
+// the daemon experiment (cmd/experiments e12), so the semantic and the
+// end-to-end suites cannot drift apart.
+
+const (
+	scNow  clock.Time = 50
+	scFrom clock.Time = 10
+	scTo   clock.Time = 100
+)
+
+func scSpan(b, e clock.Time) logic.TimeSpec { return logic.During(b, e).On("AA") }
+
+func scChain(path, to, g string, depth int, perms string) logic.Delegates {
+	return logic.Delegates{
+		To: logic.P(to), G: logic.G(g), Depth: depth,
+		Perms: perms, Path: path, T: scSpan(scFrom, scTo),
+	}
+}
+
+// scEval evaluates a claim, failing the test on evaluator errors.
+func scEval(t *testing.T, r *Run, at clock.Time, f logic.Formula) bool {
+	t.Helper()
+	ok, err := Eval(r, at, f)
+	if err != nil {
+		t.Fatalf("eval %s: %v", f, err)
+	}
+	return ok
+}
+
+func TestDelegationScenariosModel(t *testing.T) {
+	checks := map[int]func(t *testing.T){
+		1: func(t *testing.T) { // parent-folder inheritance
+			r := NewRun(scTo)
+			edge := logic.GroupGraphEdge{Sub: logic.G("Folder"), T: scSpan(scFrom, scTo), Depth: 1, Sup: logic.G("Doc")}
+			r.AddGraphEdge(edge)
+			if !scEval(t, r, scNow, edge) {
+				t.Fatal("admitted graph edge not found")
+			}
+			// Membership routed through the edge: the traversal walk must
+			// reach Doc from Folder with budget to spare.
+			best := delegation.Reachable([]delegation.Edge{
+				{From: "Folder", To: "Doc", Bounded: true, Depth: edge.Depth},
+			}, "Folder")
+			if _, ok := best["Doc"]; !ok {
+				t.Fatal("folder membership does not reach the document group")
+			}
+		},
+		2: func(t *testing.T) { // guardian traversal
+			r := NewRun(scTo)
+			root := scChain("", "guardian", "Ward", 1, "read")
+			composed, err := logic.DelegationCompose(root, scChain("guardian", "ward", "Ward", 0, "read"))
+			if err != nil {
+				t.Fatalf("compose: %v", err)
+			}
+			r.AddDelegation(root)
+			r.AddDelegation(composed)
+			if !scEval(t, r, scNow, composed) {
+				t.Fatal("ward's two-link chain not derivable")
+			}
+		},
+		3: func(t *testing.T) { // exclusion blocking (refuses)
+			// The chain and the edge exist as certificates, but the policy
+			// excludes the revoked subject: the run admits nothing for it,
+			// and the claim must evaluate false.
+			r := NewRun(scTo)
+			r.AddGraphEdge(logic.GroupGraphEdge{Sub: logic.G("Folder"), T: scSpan(scFrom, scTo), Depth: 1, Sup: logic.G("Doc")})
+			if scEval(t, r, scNow, scChain("", "mallory", "Doc", 0, "read")) {
+				t.Fatal("excluded subject's claim evaluated true")
+			}
+		},
+		4: func(t *testing.T) { // wildcard access
+			r := NewRun(scTo)
+			r.AddDelegation(scChain("", "alice", "G", 0, logic.PermsAll))
+			for _, op := range []string{"read", "write", "modify"} {
+				if !scEval(t, r, scNow, scChain("", "alice", "G", 0, op)) {
+					t.Fatalf("wildcard grant does not cover %q", op)
+				}
+			}
+		},
+		5: func(t *testing.T) { // emergency context
+			r := NewRun(scTo)
+			breakGlass := logic.Delegates{
+				To: logic.P("medic"), G: logic.G("ER"), Depth: 0,
+				Perms: "read", Path: "", T: scSpan(40, 60),
+			}
+			r.AddDelegation(breakGlass)
+			if !scEval(t, r, scNow, breakGlass) {
+				t.Fatal("break-glass grant not live inside its window")
+			}
+			if scEval(t, r, 70, breakGlass) {
+				t.Fatal("break-glass grant still live after its window")
+			}
+		},
+		6: func(t *testing.T) { // chain attenuation
+			r := NewRun(scTo)
+			root := scChain("", "alice", "G", 1, "read,write")
+			composed, err := logic.DelegationCompose(root, scChain("alice", "bob", "G", 0, "write"))
+			if err != nil {
+				t.Fatalf("compose: %v", err)
+			}
+			r.AddDelegation(root)
+			r.AddDelegation(composed)
+			if !scEval(t, r, scNow, scChain("alice", "bob", "G", 0, "write")) {
+				t.Fatal("retained op refused downstream")
+			}
+			if scEval(t, r, scNow, scChain("alice", "bob", "G", 0, "read")) {
+				t.Fatal("op dropped mid-chain still derivable downstream")
+			}
+		},
+		7: func(t *testing.T) { // depth exhaustion (refuses)
+			exhausted := scChain("", "alice", "G", 0, "read")
+			_, err := logic.DelegationCompose(exhausted, scChain("alice", "bob", "G", 0, "read"))
+			if !errors.Is(err, logic.ErrDepthExhausted) {
+				t.Fatalf("composing past the depth bound: got %v, want ErrDepthExhausted", err)
+			}
+		},
+		8: func(t *testing.T) { // mid-chain revocation (refuses)
+			root := scChain("", "guardian", "Ward", 1, "read")
+			composed, err := logic.DelegationCompose(root, scChain("guardian", "ward", "Ward", 0, "read"))
+			if err != nil {
+				t.Fatalf("compose: %v", err)
+			}
+			// Revoking the guardian removes every fact whose link set
+			// names it — the root grant and the composed chain alike.
+			r := NewRun(scTo)
+			for _, d := range []logic.Delegates{root, composed} {
+				revoked := false
+				for _, link := range delegation.Links(d) {
+					if link == "guardian" {
+						revoked = true
+					}
+				}
+				if !revoked {
+					r.AddDelegation(d)
+				}
+			}
+			if scEval(t, r, scNow, composed) {
+				t.Fatal("downstream grant survived mid-chain revocation")
+			}
+		},
+	}
+	if len(checks) != len(delegation.Scenarios) {
+		t.Fatalf("catalog has %d scenarios, suite covers %d", len(delegation.Scenarios), len(checks))
+	}
+	for _, sc := range delegation.Scenarios {
+		check, ok := checks[sc.ID]
+		if !ok {
+			t.Fatalf("no model check for scenario %d (%s)", sc.ID, sc.Name)
+		}
+		t.Run(fmt.Sprintf("s%d_%s", sc.ID, sc.Name), check)
+	}
+}
+
+// TestDelegatesCoverIsOrdered: randomized property — a fact covers every
+// weakening of itself (less depth, fewer perms, same window) and covers
+// no claim naming a different path or more depth.
+func TestDelegatesCoverIsOrdered(t *testing.T) {
+	r := NewRun(scTo)
+	fact := scChain("root", "alice", "G", 3, "modify,read,write")
+	r.AddDelegation(fact)
+	for depth := 0; depth <= 3; depth++ {
+		for _, perms := range []string{"read", "write", "read,write", "modify,read,write"} {
+			if !scEval(t, r, scNow, scChain("root", "alice", "G", depth, perms)) {
+				t.Fatalf("fact fails to cover weakened claim depth=%d perms=%s", depth, perms)
+			}
+		}
+	}
+	if scEval(t, r, scNow, scChain("root", "alice", "G", 4, "read")) {
+		t.Fatal("claim with more remaining depth than the fact evaluated true")
+	}
+	if scEval(t, r, scNow, scChain("other", "alice", "G", 0, "read")) {
+		t.Fatal("claim naming a different chain path evaluated true")
+	}
+	if scEval(t, r, scNow, scChain("root", "alice", "G", 0, "admin")) {
+		t.Fatal("claim for a never-granted op evaluated true")
+	}
+}

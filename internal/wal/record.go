@@ -41,6 +41,12 @@ const (
 	// TypeGroupLink records an accepted privilege-inheritance certificate
 	// (pki.Signed[pki.GroupLink]).
 	TypeGroupLink Type = "group-link"
+	// TypeDelegation records an accepted delegation-link certificate
+	// (pki.Signed[pki.Delegation]).
+	TypeDelegation Type = "delegation"
+	// TypeGroupGraphLink records an accepted group-graph membership
+	// certificate (pki.Signed[pki.GroupGraphLink]).
+	TypeGroupGraphLink Type = "group-graph-link"
 	// TypeAudit records one audit log entry (audit.Entry). Audit records
 	// restore the decision history on replay but carry no belief change.
 	TypeAudit Type = "audit"

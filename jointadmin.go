@@ -31,12 +31,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"jointadmin/internal/acl"
 	"jointadmin/internal/audit"
 	"jointadmin/internal/authz"
 	"jointadmin/internal/clock"
 	"jointadmin/internal/coalition"
+	"jointadmin/internal/logic"
 	"jointadmin/internal/pki"
 )
 
@@ -92,7 +94,14 @@ type Alliance struct {
 	c    *coalition.Coalition
 	clk  *clock.Clock
 	opts options
+
+	mu sync.Mutex
+	// delegations remembers the leaf delegation-link certificate per
+	// (delegate, group), so delegated requests and revocations can name it.
+	delegations map[string]pki.Signed[pki.Delegation]
 }
+
+func delegationKey(subject, group string) string { return subject + "\x00" + group }
 
 // NewAlliance forms a coalition among the named domains.
 func NewAlliance(name string, domains []string, opts ...Option) (*Alliance, error) {
@@ -108,7 +117,7 @@ func NewAlliance(name string, domains []string, opts ...Option) (*Alliance, erro
 	if err != nil {
 		return nil, fmt.Errorf("jointadmin: form alliance: %w", err)
 	}
-	return &Alliance{c: c, clk: clk, opts: o}, nil
+	return &Alliance{c: c, clk: clk, opts: o, delegations: make(map[string]pki.Signed[pki.Delegation])}, nil
 }
 
 // Clock returns the alliance's simulated clock.
@@ -227,6 +236,73 @@ func (a *Alliance) LinkGroups(sub, sup string, servers ...*Server) error {
 	return nil
 }
 
+// Delegate issues a bounded-depth delegation-link certificate under full
+// domain consensus and delivers it to the given servers: subject may
+// exercise group's privileges restricted to perms, and may itself
+// delegate depth further hops. An empty delegator makes a root grant; a
+// named delegator extends that user's existing chain (the servers refuse
+// the link if no such chain is believed). The leaf certificate is
+// remembered so delegated requests and revocations can reference it.
+func (a *Alliance) Delegate(delegator, subject, group string, depth int, perms []string, servers ...*Server) error {
+	kp, err := a.c.UserKey(subject)
+	if err != nil {
+		return fmt.Errorf("jointadmin: delegate to %s: %w", subject, err)
+	}
+	bound := pki.BoundSubject{Name: subject, KeyID: kp.Public().KeyID()}
+	cert, err := a.c.AA().IssueDelegation(delegator, bound, group, depth, logic.CanonicalPerms(perms), a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: delegate %s ⇒ %s in %s: %w", delegator, subject, group, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.Apply(context.Background(), authz.Delegation{Cert: cert}); err != nil {
+			return fmt.Errorf("jointadmin: deliver delegation to %s: %w", s.name, err)
+		}
+	}
+	a.mu.Lock()
+	a.delegations[delegationKey(subject, group)] = cert
+	a.mu.Unlock()
+	return nil
+}
+
+// LinkGroupGraph issues a group-graph membership certificate (Sub is a
+// member of Sup, crossable while the traversal budget allows depth more
+// bounded hops) under full domain consensus and delivers it to the given
+// servers.
+func (a *Alliance) LinkGroupGraph(sub, sup string, depth int, servers ...*Server) error {
+	cert, err := a.c.AA().IssueGroupGraphLink(sub, sup, depth, a.validity())
+	if err != nil {
+		return fmt.Errorf("jointadmin: graph link %s ⇒ %s: %w", sub, sup, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.Apply(context.Background(), authz.GroupGraphLink{Cert: cert}); err != nil {
+			return fmt.Errorf("jointadmin: deliver graph link to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// RevokeDelegation asks the revocation authority to withdraw the named
+// delegate's standing in the group and delivers the revocation to the
+// given servers. Every chain routed through the delegate is severed.
+func (a *Alliance) RevokeDelegation(delegate, group string, servers ...*Server) error {
+	a.mu.Lock()
+	cert, ok := a.delegations[delegationKey(delegate, group)]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: no delegation to %s in %s", ErrNoGroup, delegate, group)
+	}
+	rev, err := a.c.RA().RevokeSubject(group, cert.Cert.Subject, a.clk.Now())
+	if err != nil {
+		return fmt.Errorf("jointadmin: revoke delegation of %s: %w", delegate, err)
+	}
+	for _, s := range servers {
+		if err := s.inner.Apply(context.Background(), authz.Revocation{Cert: rev}); err != nil {
+			return fmt.Errorf("jointadmin: deliver revocation to %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
 // RevokeIdentity withdraws a user's key binding at its domain CA and
 // delivers the identity revocation to the given servers: the user's signed
 // requests are denied from now on, even under still-valid attribute
@@ -339,6 +415,9 @@ type RequestSpec struct {
 	// When false, Submit resolves the group's threshold certificate first
 	// and falls back to a selective certificate for single-signer specs.
 	Selective bool
+	// Delegated routes the request through the lone signer's delegation
+	// chain (registered by Delegate) instead of a group certificate.
+	Delegated bool
 }
 
 // NewRequest builds the signed wire-form access request for a spec:
@@ -347,6 +426,21 @@ type RequestSpec struct {
 // Server.Request or shipped over a transport.
 func (a *Alliance) NewRequest(spec RequestSpec) (AccessRequest, error) {
 	var req AccessRequest
+	if spec.Delegated {
+		if len(spec.Signers) != 1 {
+			return AccessRequest{}, fmt.Errorf("jointadmin: delegated request for %s needs exactly one signer, got %d",
+				spec.Group, len(spec.Signers))
+		}
+		a.mu.Lock()
+		cert, ok := a.delegations[delegationKey(spec.Signers[0], spec.Group)]
+		a.mu.Unlock()
+		if !ok {
+			return AccessRequest{}, fmt.Errorf("%w: no delegation to %s in %s", ErrNoGroup, spec.Signers[0], spec.Group)
+		}
+		req.Delegated = true
+		req.Delegation = cert
+		return a.attachSigners(req, spec)
+	}
 	selective := spec.Selective
 	if !selective {
 		if _, ok := a.c.Certificate(spec.Group); !ok {
@@ -373,6 +467,12 @@ func (a *Alliance) NewRequest(spec RequestSpec) (AccessRequest, error) {
 		cert, _ := a.c.Certificate(spec.Group)
 		req.Threshold = cert
 	}
+	return a.attachSigners(req, spec)
+}
+
+// attachSigners appends one identity certificate and one signed request
+// component per signer, timestamped now.
+func (a *Alliance) attachSigners(req AccessRequest, spec RequestSpec) (AccessRequest, error) {
 	for _, u := range spec.Signers {
 		idc, err := a.c.IdentityOf(u, a.validity())
 		if err != nil {

@@ -17,8 +17,8 @@ RAW=$(mktemp)
 FORKRAW=$(mktemp)
 trap 'rm -f "$RAW" "$FORKRAW"' EXIT
 
-echo "==> go test -bench 'BenchmarkAuthorize(Serial|Parallel)' -benchmem -benchtime $BENCHTIME"
-go test -run '^$' -bench 'BenchmarkAuthorize(Serial|Parallel)' \
+echo "==> go test -bench 'BenchmarkAuthorize(Serial|Parallel)|BenchmarkDelegationDepth' -benchmem -benchtime $BENCHTIME"
+go test -run '^$' -bench 'BenchmarkAuthorize(Serial|Parallel)|BenchmarkDelegationDepth' \
     -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
@@ -36,7 +36,10 @@ END {
     fw = nsop["BenchmarkAuthorizeParallel/fanout-warm"]
     cc = nsop["BenchmarkAuthorizeParallel/concurrent-cold"]
     cw = nsop["BenchmarkAuthorizeParallel/concurrent-warm"]
-    if (sc == "" || sw == "" || rw == "" || cw == "") {
+    dc1  = nsop["BenchmarkDelegationDepth/chain=1"]
+    dc4  = nsop["BenchmarkDelegationDepth/chain=4"]
+    dc16 = nsop["BenchmarkDelegationDepth/chain=16"]
+    if (sc == "" || sw == "" || rw == "" || cw == "" || dc1 == "" || dc16 == "") {
         print "bench_authz: missing benchmark results" > "/dev/stderr"
         exit 1
     }
@@ -50,7 +53,10 @@ END {
     printf "    \"residual_warm\": %s,\n", rw
     printf "    \"fanout_warm\": %s,\n", fw
     printf "    \"concurrent_cold\": %s,\n", cc
-    printf "    \"concurrent_warm\": %s\n", cw
+    printf "    \"concurrent_warm\": %s,\n", cw
+    printf "    \"delegation_chain_1\": %s,\n", dc1
+    printf "    \"delegation_chain_4\": %s,\n", dc4
+    printf "    \"delegation_chain_16\": %s\n", dc16
     printf "  },\n"
     printf "  \"allocs_per_op\": {\n"
     printf "    \"serial_cold\": %s,\n", allocs["BenchmarkAuthorizeSerial/cold"]
@@ -58,15 +64,19 @@ END {
     printf "    \"residual_warm\": %s,\n", allocs["BenchmarkAuthorizeSerial/residual"]
     printf "    \"fanout_warm\": %s,\n", allocs["BenchmarkAuthorizeParallel/fanout-warm"]
     printf "    \"concurrent_cold\": %s,\n", allocs["BenchmarkAuthorizeParallel/concurrent-cold"]
-    printf "    \"concurrent_warm\": %s\n", allocs["BenchmarkAuthorizeParallel/concurrent-warm"]
+    printf "    \"concurrent_warm\": %s,\n", allocs["BenchmarkAuthorizeParallel/concurrent-warm"]
+    printf "    \"delegation_chain_1\": %s,\n", allocs["BenchmarkDelegationDepth/chain=1"]
+    printf "    \"delegation_chain_4\": %s,\n", allocs["BenchmarkDelegationDepth/chain=4"]
+    printf "    \"delegation_chain_16\": %s\n", allocs["BenchmarkDelegationDepth/chain=16"]
     printf "  },\n"
     printf "  \"speedup\": {\n"
     printf "    \"redesign_vs_serial_baseline\": %.2f,\n", sc / cw
     printf "    \"warm_cache_vs_cold\": %.2f,\n", sc / sw
     printf "    \"concurrency_vs_serial_warm\": %.2f,\n", sw / cw
-    printf "    \"residual_vs_serial_warm\": %.2f\n", sw / rw
+    printf "    \"residual_vs_serial_warm\": %.2f,\n", sw / rw
+    printf "    \"delegation_chain16_vs_chain1\": %.2f\n", dc16 / dc1
     printf "  },\n"
-    printf "  \"notes\": \"serial_cold is the pre-redesign baseline (serial verification, no cache); redesign_vs_serial_baseline compares it against concurrent requests on a warm cache. serial_warm and residual_warm run the same warm workload on the same harness run — warm pins the full derivation replay (residuals disabled), residual_warm decides on the checklist precompiled at snapshot publish; residual_vs_serial_warm is the payoff of residual compilation. allocs_per_op comes from -benchmem; the residual series has an allocation budget asserted by TestResidualAllocsReduced (internal/authz), and these benches run with pooling at the server default.\"\n"
+    printf "  \"notes\": \"serial_cold is the pre-redesign baseline (serial verification, no cache); redesign_vs_serial_baseline compares it against concurrent requests on a warm cache. serial_warm and residual_warm run the same warm workload on the same harness run — warm pins the full derivation replay (residuals disabled), residual_warm decides on the checklist precompiled at snapshot publish; residual_vs_serial_warm is the payoff of residual compilation. allocs_per_op comes from -benchmem; the residual series has an allocation budget asserted by TestResidualAllocsReduced (internal/authz), and these benches run with pooling at the server default. delegation_chain_N is a delegated read through a composed chain of N links (warm cache); the store holds only root-anchored composed chains, so the residual growth from chain 1 to 16 is the per-link revocation sweep, not chain search.\"\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 

@@ -46,6 +46,9 @@ echo "==> loadgen smoke (tiny coalition, 2s closed loop with churn)"
 go run ./cmd/loadgen -principals 2000 -objects 16 -keys 8 -pool 48 \
     -duration 2s -concurrency 2 -churn-every 300ms -label smoke > /dev/null
 
+echo "==> delegation scenario smoke (8-scenario suite incl. depth bound through the daemon)"
+go run ./cmd/experiments -only e12 > /dev/null
+
 echo "==> docs lint (every CLI flag and replication metric documented)"
 fail=0
 flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z][a-z0-9-]*"' \
@@ -82,6 +85,13 @@ loadgen_metrics=$(grep -ohE '"loadgen_[a-z_]+"' internal/sim/load.go | tr -d '"'
 for m in $loadgen_metrics; do
     if ! grep -rq -- "$m" docs/; then
         echo "docs lint: loadgen metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+delegation_metrics=$(grep -ohE '"delegation_[a-z_]+"' internal/delegation/*.go | tr -d '"' | sort -u)
+for m in $delegation_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: delegation metric $m not documented anywhere in docs/" >&2
         fail=1
     fi
 done
