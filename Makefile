@@ -31,7 +31,8 @@ bench-repl:
 	sh scripts/bench_repl.sh
 
 # Regenerates BENCH_load.json (scripts/bench_load.sh): coalition-scale
-# load harness, three series (baseline / +batch-verify / +pooled).
+# load harness, four series (baseline / +batch-verify / +pooled / wire
+# over localhost TCP via multiplexed daemon connections).
 bench-load:
 	sh scripts/bench_load.sh
 

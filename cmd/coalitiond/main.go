@@ -55,6 +55,7 @@ func main() {
 	replHeartbeat := flag.Duration("repl-heartbeat", time.Second, "writer: idle status heartbeat interval per follower (the staleness bound is this plus transport retry latency)")
 	replSnapEvery := flag.Int("repl-snapshot-every", 4096, "writer: re-ship a full snapshot to a follower after this many records (refreshes object content)")
 	replResync := flag.Duration("repl-resync", 3*time.Second, "follower: writer-silence threshold before re-announcing (resync hello)")
+	dedupCap := flag.Int("dedup-cap", 0, "retried-command dedup cache size: completed replies remembered for replay to duplicate command IDs (0 = default 1024, negative disables)")
 	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "transport: per-connection dial deadline")
 	sendTimeout := flag.Duration("send-timeout", transport.DefaultWriteTimeout, "transport: per-frame write deadline (negative disables)")
 	sendRetries := flag.Int("send-retries", transport.DefaultAttempts, "transport: send attempts per frame (1 disables retries)")
@@ -70,9 +71,9 @@ func main() {
 	switch *role {
 	case "writer":
 		err = run(*listen, *metricsAddr, splitCSV(*domains), splitCSV(*users), *writeM,
-			*dataDir, *walBatch, *auditCap, *replBatch, *replHeartbeat, *replSnapEvery, topts)
+			*dataDir, *walBatch, *auditCap, *replBatch, *replHeartbeat, *replSnapEvery, *dedupCap, topts)
 	case "follower":
-		err = runFollower(*listen, *metricsAddr, *name, *follow, *auditCap, *replResync, topts)
+		err = runFollower(*listen, *metricsAddr, *name, *follow, *auditCap, *replResync, *dedupCap, topts)
 	default:
 		err = fmt.Errorf("unknown -role %q (want writer or follower)", *role)
 	}
@@ -106,7 +107,7 @@ func serveMetrics(addr string, reg *obs.Registry) {
 
 func run(listen, metricsAddr string, domains, users []string, writeM int, dataDir string,
 	walBatch time.Duration, auditCap, replBatch int, replHeartbeat time.Duration,
-	replSnapEvery int, topts transport.Options) error {
+	replSnapEvery, dedupCap int, topts transport.Options) error {
 	reg := obs.NewRegistry()
 	d, err := daemon.New(daemon.Config{
 		Domains:           domains,
@@ -121,6 +122,7 @@ func run(listen, metricsAddr string, domains, users []string, writeM int, dataDi
 		ReplBatch:         replBatch,
 		ReplHeartbeat:     replHeartbeat,
 		ReplSnapshotEvery: replSnapEvery,
+		DedupCap:          dedupCap,
 	})
 	if err != nil {
 		return err
@@ -148,7 +150,7 @@ func run(listen, metricsAddr string, domains, users []string, writeM int, dataDi
 }
 
 func runFollower(listen, metricsAddr, name, follow string, auditCap int,
-	resync time.Duration, topts transport.Options) error {
+	resync time.Duration, dedupCap int, topts transport.Options) error {
 	reg := obs.NewRegistry()
 	f, err := daemon.NewFollower(daemon.FollowerConfig{
 		Name:           name,
@@ -157,6 +159,7 @@ func runFollower(listen, metricsAddr, name, follow string, auditCap int,
 		Transport:      topts,
 		AuditRetention: auditCap,
 		ResyncAfter:    resync,
+		DedupCap:       dedupCap,
 	})
 	if err != nil {
 		return err

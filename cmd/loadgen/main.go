@@ -1,6 +1,6 @@
 // Command loadgen drives the authorization hot path at load-harness
 // scale: it synthesizes a coalition with up to a million principals
-// (internal/sim.LoadFixture — lazy certificate materialization keeps
+// (internal/sim/load.LoadFixture — lazy certificate materialization keeps
 // setup proportional to the zipf-hot working set, not the population),
 // pre-signs a heavy-tailed request pool, and replays it closed- or
 // open-loop against an in-process server while belief churn (group-link
@@ -13,6 +13,13 @@
 //	go run ./cmd/loadgen -mode open -rate 2000 -duration 10s
 //	go run ./cmd/loadgen -principals 1000000 -objects 10000 -pool 512
 //	go run ./cmd/loadgen -batch-verify=false -pooling=false -label baseline
+//	go run ./cmd/loadgen -transport -conns 4 -duration 5s -concurrency 16
+//
+// With -transport the same workload crosses real localhost TCP: requests
+// fan out over -conns multiplexed daemon connections (unique correlation
+// IDs, dedup-cache retry safety, reply demux), so the measured latency
+// includes framing, JSON codecs and kernel round trips — the
+// wire-inclusive series of BENCH_load.json.
 //
 // Server-side knobs (-batch-verify, -pooling, -parallelism, -residuals)
 // select the optimization under test; everything else shapes the
@@ -30,19 +37,19 @@ import (
 	"time"
 
 	"jointadmin/internal/obs"
-	"jointadmin/internal/sim"
+	"jointadmin/internal/sim/load"
 )
 
 // report is the JSON document loadgen emits.
 type report struct {
-	Label        string          `json:"label,omitempty"`
-	Profile      sim.LoadProfile `json:"profile"`
+	Label        string           `json:"label,omitempty"`
+	Profile      load.LoadProfile `json:"profile"`
 	Materialized struct {
 		Principals int `json:"principals"`
 		Groups     int `json:"groups"`
 	} `json:"materialized"`
-	SetupS float64       `json:"setup_s"`
-	Run    sim.RunResult `json:"run"`
+	SetupS float64        `json:"setup_s"`
+	Run    load.RunResult `json:"run"`
 	Authz  struct {
 		Requests            int64 `json:"requests"`
 		ResidualHits        int64 `json:"residual_hits"`
@@ -82,6 +89,9 @@ func main() {
 		churnEvery = flag.Duration("churn-every", 500*time.Millisecond, "belief-mutation period (0 disables churn)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 
+		transportMode = flag.Bool("transport", false, "drive over localhost TCP through the daemon serve pipeline and mux clients (wire-inclusive latency)")
+		conns         = flag.Int("conns", 4, "transport mode: multiplexed daemon connections shared by the workers")
+
 		batchVerify = flag.Bool("batch-verify", true, "enable k-way batched certificate verification")
 		pooling     = flag.Bool("pooling", true, "enable engine-fork and scratch pooling")
 		parallelism = flag.Int("parallelism", 0, "signature-verification fan-out (0 keeps the server default)")
@@ -92,7 +102,7 @@ func main() {
 	)
 	flag.Parse()
 
-	profile := sim.LoadProfile{
+	profile := load.LoadProfile{
 		Principals:    *principals,
 		Objects:       *objects,
 		GroupSize:     *groupSize,
@@ -108,7 +118,7 @@ func main() {
 	}
 
 	setupStart := time.Now()
-	f, err := sim.NewLoadFixture(profile)
+	f, err := load.NewLoadFixture(profile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,13 +136,15 @@ func main() {
 	reg := obs.NewRegistry()
 	f.Server.Instrument(reg)
 
-	res, err := f.Run(context.Background(), sim.RunConfig{
+	res, err := f.Run(context.Background(), load.RunConfig{
 		Mode:        *mode,
 		Duration:    *duration,
 		Concurrency: *concurrency,
 		RateHz:      *rate,
 		ChurnEvery:  *churnEvery,
 		Seed:        *seed,
+		Transport:   *transportMode,
+		Conns:       *conns,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -142,6 +154,10 @@ func main() {
 	}
 	log.Printf("%s loop: %.0f req/s, p50 %.0fµs p99 %.0fµs p999 %.0fµs (%d sent, %d churn)",
 		res.Mode, res.RPS, res.P50Us, res.P99Us, res.P999Us, res.Sent, res.ChurnApplied)
+	if res.Wire != nil {
+		log.Printf("wire: %d conns, %d stale replies shed, %d resends, %d dedup replays, %d conns lost",
+			res.Wire.Conns, res.Wire.StaleReplies, res.Wire.Resends, res.Wire.DedupReplays, res.Wire.ConnLost)
+	}
 
 	var rep report
 	rep.Label = *label

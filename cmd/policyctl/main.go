@@ -60,28 +60,10 @@ import (
 	"strings"
 	"time"
 
+	"jointadmin/internal/daemon"
 	"jointadmin/internal/obs"
 	"jointadmin/internal/transport"
 )
-
-// Command mirrors coalitiond's request type.
-type Command struct {
-	Cmd       string   `json:"cmd"`
-	Group     string   `json:"group,omitempty"`
-	Object    string   `json:"object,omitempty"`
-	Data      string   `json:"data,omitempty"`
-	Signers   []string `json:"signers,omitempty"`
-	Domain    string   `json:"domain,omitempty"`
-	Op        string   `json:"op,omitempty"`
-	Delegated bool     `json:"delegated,omitempty"`
-}
-
-// Reply mirrors coalitiond's response type.
-type Reply struct {
-	OK     bool   `json:"ok"`
-	Detail string `json:"detail,omitempty"`
-	Data   string `json:"data,omitempty"`
-}
 
 func main() {
 	// The wal subcommand operates on files, not the daemon, so it takes
@@ -107,7 +89,7 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", transport.DefaultRetryBase, "transport: first retry backoff (doubles per attempt, jittered)")
 	flag.Parse()
 
-	if err := run(*server, Command{
+	if err := run(*server, daemon.Command{
 		Cmd:       *cmd,
 		Group:     *group,
 		Object:    *object,
@@ -135,31 +117,29 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func run(server string, cmd Command, timeout time.Duration, topts transport.Options) error {
-	node, err := transport.ListenTCP("policyctl", "127.0.0.1:0", topts)
+func run(server string, cmd daemon.Command, timeout time.Duration, topts transport.Options) error {
+	// The mux client correlates the reply by Command.ID: the invocation
+	// gets a unique ID, envelopes answering anything else (duplicates of a
+	// retried frame, strays from an earlier aborted run on the same port)
+	// are shed instead of printed, and an unanswered command is
+	// retransmitted under the same ID — the daemon's dedup cache replays
+	// the recorded reply, so a retried mutation is never applied twice.
+	cli, err := daemon.Dial(daemon.ClientConfig{
+		ServerAddr: server,
+		Name:       "policyctl",
+		Transport:  topts,
+		Resend:     time.Second,
+	})
 	if err != nil {
 		return err
 	}
-	defer node.Close()
-	node.AddPeer("coalitiond", server)
+	defer cli.Close()
 
-	body, err := json.Marshal(cmd)
-	if err != nil {
-		return err
-	}
-	// The reply address rides in the Kind field ("cmd@addr").
-	if err := node.Send("coalitiond", "cmd@"+node.Addr(), body); err != nil {
-		return err
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	env, err := node.RecvContext(ctx)
+	reply, err := cli.Call(ctx, cmd)
 	if err != nil {
 		return fmt.Errorf("no reply from %s: %w", server, err)
-	}
-	var reply Reply
-	if err := json.Unmarshal(env.Payload, &reply); err != nil {
-		return fmt.Errorf("bad reply: %w", err)
 	}
 	if reply.Detail != "" {
 		fmt.Println(reply.Detail)

@@ -30,9 +30,12 @@ import (
 
 // Command is the client → daemon request.
 type Command struct {
-	// ID is an optional client-chosen request identifier, echoed verbatim
-	// in the Reply. Clients that retry over a lossy transport use it to
-	// match late or duplicated replies to the command that caused them.
+	// ID is the client-chosen request identifier, echoed verbatim in
+	// every Reply. The mux client (Client) sets a unique ID per call and
+	// demultiplexes concurrent in-flight replies by it; the serve
+	// pipeline replays the recorded answer for a duplicated ID instead of
+	// re-executing the command. Every client should set one — a command
+	// without an ID is handled, but retries of it re-execute.
 	ID string `json:"id,omitempty"`
 	// Cmd selects the operation: write, read, revoke, mutate, audit,
 	// stats, join, leave, sign (writers); authorize, audit, stats,
@@ -92,6 +95,11 @@ type Config struct {
 	// (default GOMAXPROCS). Replies are written by a single sender
 	// goroutine, so reordering stays per-client even under retries.
 	Workers int
+	// DedupCap bounds the ID-keyed recently-answered cache duplicate
+	// commands are replayed from (default DefaultDedupCap); negative
+	// disables dedup, re-executing retried commands as older releases
+	// did.
+	DedupCap int
 
 	// Transport configures the daemon's TCP resilience — dial and write
 	// deadlines plus the bounded retry/backoff policy replies are sent
@@ -156,6 +164,7 @@ type Daemon struct {
 	object    string
 	reg       *obs.Registry
 	workers   int
+	dedupCap  int
 	transport transport.Options
 
 	// wal is the durable state log (nil without Config.DataDir).
@@ -230,7 +239,7 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, fmt.Errorf("daemon: replication requires DataDir (the shipper streams the durable log)")
 	}
 	d := &Daemon{alliance: a, server: srv, object: cfg.Object, reg: cfg.Metrics,
-		workers: workers, transport: cfg.Transport,
+		workers: workers, dedupCap: cfg.DedupCap, transport: cfg.Transport,
 		replicate: cfg.Replicate, replBatch: cfg.ReplBatch,
 		replHeartbeat: cfg.ReplHeartbeat, replSnapshotEvery: cfg.ReplSnapshotEvery}
 	if cfg.DataDir != "" {
@@ -351,6 +360,8 @@ func errClass(err error) string {
 		return "node_down"
 	case errors.Is(err, transport.ErrDropped):
 		return "dropped"
+	case errors.Is(err, transport.ErrInboxFull):
+		return "backpressure"
 	case errors.Is(err, transport.ErrUnknownPeer):
 		return "unknown_peer"
 	case errors.Is(err, transport.ErrClosed):
@@ -602,51 +613,20 @@ func opOf(cmd Command) string {
 	return cmd.Op
 }
 
-// commandNode is the transport surface Serve drives: receive commands,
-// learn reply addresses, send replies. *transport.TCPNode implements it;
-// tests supply fakes.
-type commandNode interface {
-	RecvContext(ctx context.Context) (transport.Envelope, error)
-	AddPeer(name, addr string)
-	Send(to, kind string, payload []byte) error
-}
-
-var _ commandNode = (*transport.TCPNode)(nil)
-
-// outbound is one reply routed back to its sender.
-type outbound struct {
-	to   string
-	addr string
-	body []byte
-}
-
 // Serve answers commands on the endpoint until it closes or the context
-// is canceled. The reply address rides in the message kind as "cmd@addr"
-// (the client listens on an ephemeral port).
-//
-// Commands are pipelined: the receive loop dispatches each envelope to a
-// bounded worker pool (Config.Workers), so slow authorizations — RSA
-// verification, co-signer fan-out — overlap instead of serializing behind
-// one another; the daemon_inflight gauge reports the pool's occupancy.
-// Replies funnel through a single sender goroutine — the transport's
-// per-peer write lock makes concurrent sends safe, but one sender keeps
-// reply order stable per client and keeps retry backoffs for one dead
-// client from tying up worker goroutines — and are routed per sender;
-// replies to different clients may reorder relative to arrival, which
-// the request/reply shape (and the Command.ID echo) tolerates.
-// On context cancel or listener close the receive loop stops, in-flight
-// commands drain, and queued replies are flushed before Serve returns.
+// is canceled, running the shared serve pipeline (Pipeline.Serve:
+// bounded worker pool, ID-keyed dedup replay, single reply sender) over
+// Daemon.Handle. Replication frames are intercepted before the command
+// pool: the shipper only registers the follower and signals its stream
+// goroutine.
 //
 // Serve returns the context's error when canceled and nil on a clean
 // listener close; any other transport failure is counted in
 // daemon_serve_errors_total and returned.
-func (d *Daemon) Serve(ctx context.Context, node commandNode) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	var shipper *replication.Shipper
+func (d *Daemon) Serve(ctx context.Context, node CommandNode) error {
+	var intercept func(kind string, payload []byte) bool
 	if d.replicate && d.wal != nil {
-		shipper = replication.NewShipper(d.wal, node, replication.ShipperOptions{
+		shipper := replication.NewShipper(d.wal, node, replication.ShipperOptions{
 			Batch:         d.replBatch,
 			Heartbeat:     d.replHeartbeat,
 			SnapshotEvery: d.replSnapshotEvery,
@@ -662,92 +642,20 @@ func (d *Daemon) Serve(ctx context.Context, node commandNode) error {
 			Now: d.alliance.Clock().Now,
 		})
 		defer shipper.Close()
-	}
-	tasks := make(chan transport.Envelope)
-	replies := make(chan outbound, d.workers)
-
-	var senderWG sync.WaitGroup
-	senderWG.Add(1)
-	go func() {
-		defer senderWG.Done()
-		for out := range replies {
-			if out.addr != "" {
-				node.AddPeer(out.to, out.addr)
+		intercept = func(kind string, payload []byte) bool {
+			if !replication.IsReplication(kind) {
+				return false
 			}
-			if err := node.Send(out.to, "reply", out.body); err != nil {
-				log.Printf("daemon: reply to %s: %v", out.to, err)
-			}
+			shipper.Handle(kind, payload)
+			return true
 		}
-	}()
-
-	var workerWG sync.WaitGroup
-	for i := 0; i < d.workers; i++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for env := range tasks {
-				d.serveOne(ctx, env, replies)
-			}
-		}()
 	}
-
-	var serveErr error
-	for {
-		env, err := node.RecvContext(ctx)
-		if err != nil {
-			switch {
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				serveErr = err // shutdown requested
-			case errors.Is(err, transport.ErrClosed):
-				serveErr = nil // clean close
-			default:
-				d.reg.Counter(MetricServeErrors).Inc()
-				serveErr = err // transport failure
-			}
-			break
-		}
-		if replication.IsReplication(env.Kind) {
-			// Replication frames bypass the command pool: Handle only
-			// registers the follower and signals its stream goroutine.
-			if shipper != nil {
-				shipper.Handle(env.Kind, env.Payload)
-			}
-			continue
-		}
-		tasks <- env
-	}
-	close(tasks)
-	workerWG.Wait() // drain in-flight commands
-	close(replies)
-	senderWG.Wait() // flush queued replies
-	return serveErr
-}
-
-// serveOne decodes, handles and answers a single command under its own
-// request context.
-func (d *Daemon) serveOne(ctx context.Context, env transport.Envelope, replies chan<- outbound) {
-	reqCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var cmd Command
-	reply := Reply{}
-	if err := json.Unmarshal(env.Payload, &cmd); err != nil {
-		reply.Detail = "bad command: " + err.Error()
-	} else {
-		reply = d.Handle(reqCtx, cmd)
-		reply.ID = cmd.ID
-	}
-	body, err := json.Marshal(reply)
-	if err != nil {
-		log.Printf("daemon: encode reply: %v", err)
-		return
-	}
-	replies <- outbound{to: env.From, addr: returnAddr(env.Kind), body: body}
-}
-
-// returnAddr extracts the reply address from "cmd@addr".
-func returnAddr(kind string) string {
-	if i := strings.IndexByte(kind, '@'); i >= 0 {
-		return kind[i+1:]
-	}
-	return ""
+	return NewPipeline(PipelineConfig{
+		Handler:   d.Handle,
+		Workers:   d.workers,
+		DedupCap:  d.dedupCap,
+		Metrics:   d.reg,
+		Intercept: intercept,
+		Tag:       "daemon",
+	}).Serve(ctx, node)
 }

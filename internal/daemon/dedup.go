@@ -1,0 +1,113 @@
+// ID-keyed answer cache for retry-safe exactly-once command execution.
+//
+// Transport retries legitimately duplicate frames: a write can reach the
+// daemon and still look failed to the sender (connection lost before the
+// reply, a retried frame after a slow accept, a fault-injected dup), and
+// the client's mux retransmits unanswered calls under the same ID. The
+// serve pipeline therefore answers each distinct (sender, ID) at most
+// once from the handler and replays the recorded reply for every
+// duplicate — a retried `mutate -op reanchor` must not rekey twice.
+
+package daemon
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultDedupCap is the default bound on remembered replies.
+const DefaultDedupCap = 1024
+
+// dedupEntry is one command's slot in the cache. done closes when the
+// leader (the first arrival of the ID) has recorded its reply; body is
+// the marshaled Reply duplicates replay (nil if the leader failed to
+// encode one).
+type dedupEntry struct {
+	done chan struct{}
+	body []byte
+}
+
+// dedupCache is the bounded ID-keyed reply cache. Entries are inserted
+// when a command's first copy is dispatched; only completed entries are
+// evictable (an in-flight entry is pinned by its running leader, and
+// duplicate arrivals park on its done channel), so the map can briefly
+// exceed cap by the number of in-flight commands.
+type dedupCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*dedupEntry
+	order   *list.List // completed entry keys, oldest first
+	evicted int64
+}
+
+// newDedupCache builds a cache bounded at cap completed entries;
+// cap <= 0 selects DefaultDedupCap.
+func newDedupCache(cap int) *dedupCache {
+	if cap <= 0 {
+		cap = DefaultDedupCap
+	}
+	return &dedupCache{
+		cap:     cap,
+		entries: make(map[string]*dedupEntry),
+		order:   list.New(),
+	}
+}
+
+// begin claims the ID. The first caller per ID is the leader
+// (leader=true): it must execute the command and call finish. Later
+// callers receive the existing entry and leader=false: they wait on
+// entry.done and replay entry.body.
+func (c *dedupCache) begin(key string) (entry *dedupEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// finish records the leader's marshaled reply, releases waiting
+// duplicates, and evicts the oldest completed entries beyond cap,
+// reporting how many it aged out.
+func (c *dedupCache) finish(key string, body []byte) (evictedNow int64) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		e.body = body
+		c.order.PushBack(key)
+		for c.order.Len() > c.cap {
+			front := c.order.Front()
+			delete(c.entries, front.Value.(string))
+			c.order.Remove(front)
+			c.evicted++
+			evictedNow++
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		close(e.done)
+	}
+	return evictedNow
+}
+
+// size reports the number of cached entries (in-flight included).
+func (c *dedupCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evictions reports how many completed entries aged out.
+func (c *dedupCache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// dedupKey scopes an ID to its sender: IDs are unique per client
+// instance (nonce + counter), and the sender prefix keeps two clients
+// that picked the same transport name from colliding across IDs they
+// never saw.
+func dedupKey(from, id string) string { return from + "\x00" + id }

@@ -35,6 +35,9 @@ type FollowerConfig struct {
 	WriterAddr string
 	// Workers bounds concurrent command handling (default GOMAXPROCS).
 	Workers int
+	// DedupCap bounds the ID-keyed recently-answered cache (default
+	// DefaultDedupCap); negative disables dedup.
+	DedupCap int
 	// Metrics receives the follower's metrics (replication lag gauges,
 	// authz counters). Optional.
 	Metrics *obs.Registry
@@ -108,13 +111,13 @@ func (f *Follower) Applier() *replication.Applier { return f.applier }
 func (f *Follower) Metrics() *obs.Registry { return f.reg }
 
 // Serve answers commands and applies replication frames until the
-// context is canceled or the listener closes. The loop mirrors
-// Daemon.Serve — worker pool for commands, single reply sender — with
-// one difference: replication frames are applied inline in the receive
-// loop, preserving their arrival order (the protocol is sequential; the
-// Authorize path reads the replica through an atomic pointer and never
-// blocks on it).
-func (f *Follower) Serve(ctx context.Context, node commandNode) error {
+// context is canceled or the listener closes. Commands run through the
+// shared serve pipeline (worker pool, ID-keyed dedup replay, single
+// reply sender — see Pipeline.Serve); replication frames are intercepted
+// and applied inline in the receive loop, preserving their arrival order
+// (the protocol is sequential; the Authorize path reads the replica
+// through an atomic pointer and never blocks on it).
+func (f *Follower) Serve(ctx context.Context, node CommandNode) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -131,80 +134,20 @@ func (f *Follower) Serve(ctx context.Context, node commandNode) error {
 	}()
 	defer applierWG.Wait()
 
-	tasks := make(chan transport.Envelope)
-	replies := make(chan outbound, f.workers)
-
-	var senderWG sync.WaitGroup
-	senderWG.Add(1)
-	go func() {
-		defer senderWG.Done()
-		for out := range replies {
-			if out.addr != "" {
-				node.AddPeer(out.to, out.addr)
+	return NewPipeline(PipelineConfig{
+		Handler:  f.Handle,
+		Workers:  f.workers,
+		DedupCap: f.cfg.DedupCap,
+		Metrics:  f.reg,
+		Intercept: func(kind string, payload []byte) bool {
+			if !replication.IsReplication(kind) {
+				return false
 			}
-			if err := node.Send(out.to, "reply", out.body); err != nil {
-				log.Printf("follower: reply to %s: %v", out.to, err)
-			}
-		}
-	}()
-
-	var workerWG sync.WaitGroup
-	for i := 0; i < f.workers; i++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for env := range tasks {
-				f.serveOne(ctx, env, replies)
-			}
-		}()
-	}
-
-	var serveErr error
-	for {
-		env, err := node.RecvContext(ctx)
-		if err != nil {
-			switch {
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				serveErr = err
-			case errors.Is(err, transport.ErrClosed):
-				serveErr = nil
-			default:
-				f.reg.Counter(MetricServeErrors).Inc()
-				serveErr = err
-			}
-			break
-		}
-		if replication.IsReplication(env.Kind) {
-			f.applier.Handle(env.Kind, env.Payload)
-			continue
-		}
-		tasks <- env
-	}
-	close(tasks)
-	workerWG.Wait()
-	close(replies)
-	senderWG.Wait()
-	return serveErr
-}
-
-// serveOne decodes, handles and answers a single command.
-func (f *Follower) serveOne(ctx context.Context, env transport.Envelope, replies chan<- outbound) {
-	reqCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var cmd Command
-	reply := Reply{}
-	if err := json.Unmarshal(env.Payload, &cmd); err != nil {
-		reply.Detail = "bad command: " + err.Error()
-	} else {
-		reply = f.Handle(reqCtx, cmd)
-		reply.ID = cmd.ID
-	}
-	body, err := json.Marshal(reply)
-	if err != nil {
-		log.Printf("follower: encode reply: %v", err)
-		return
-	}
-	replies <- outbound{to: env.From, addr: returnAddr(env.Kind), body: body}
+			f.applier.Handle(kind, payload)
+			return true
+		},
+		Tag: "follower",
+	}).Serve(ctx, node)
 }
 
 // Handle executes one follower command with the writer-side metric

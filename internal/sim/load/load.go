@@ -13,7 +13,7 @@
 // CA and AA (joint) signatures. The coalition is defined over the whole
 // population; the load report states both the population and how much
 // of it was materialized.
-package sim
+package load
 
 import (
 	"context"
@@ -145,6 +145,11 @@ type PooledRequest struct {
 	Object    string
 	WantAllow bool
 	Req       authz.AccessRequest
+
+	// wireJSON is Req pre-encoded for transport mode (startWire fills it),
+	// mirroring a real client that signs and encodes once, then retries
+	// the same bytes.
+	wireJSON string
 }
 
 // LoadFixture is a synthesized coalition plus its replay pool and churn
@@ -505,6 +510,13 @@ type RunConfig struct {
 	ChurnEvery time.Duration
 	// Seed drives the workers' request selection.
 	Seed int64
+	// Transport drives the workload over real localhost TCP through the
+	// daemon serve pipeline and mux clients, so latency includes framing,
+	// JSON codecs, kernel round trips and correlation bookkeeping.
+	Transport bool
+	// Conns is the mux client connection count in transport mode
+	// (default 4, capped at Concurrency).
+	Conns int
 }
 
 // RunResult summarizes one drive.
@@ -524,6 +536,9 @@ type RunResult struct {
 	P99Us        float64 `json:"p99_us"`
 	P999Us       float64 `json:"p999_us"`
 	MeanUs       float64 `json:"mean_us"`
+	// Wire reports the transport-layer counters of a transport-mode run
+	// (nil for in-process runs).
+	Wire *WireStats `json:"wire,omitempty"`
 }
 
 // Run drives the server with the pooled workload for cfg.Duration,
@@ -591,6 +606,42 @@ func (f *LoadFixture) Run(ctx context.Context, cfg RunConfig, reg *obs.Registry)
 		}
 		if dec.Allowed != pr.WantAllow {
 			unexpected.Inc()
+		}
+	}
+
+	// Transport mode swaps the decision function: same pool, same
+	// counters, but every request crosses localhost TCP through a mux
+	// client and the daemon serve pipeline.
+	var wire *wireHarness
+	if cfg.Transport {
+		wh, err := f.startWire(cfg, reg)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer wh.Close()
+		wire = wh
+		decide = func(pr *PooledRequest, since time.Time, _ *[]byte) {
+			inflight.Inc()
+			rep, err := wh.call(runCtx, pr)
+			inflight.Dec()
+			if runCtx.Err() != nil && err != nil {
+				return // aborted by the deadline, not an outcome
+			}
+			sent.Add(1)
+			kindCounters[pr.Kind].Inc()
+			lat.ObserveSince(since)
+			outcome := wireOutcome(rep, err)
+			switch outcome {
+			case "allowed":
+				allowed.Inc()
+			case "denied":
+				denied.Inc()
+			default:
+				errs.Inc()
+			}
+			if (outcome == "allowed") != pr.WantAllow {
+				unexpected.Inc()
+			}
 		}
 	}
 
@@ -689,6 +740,9 @@ func (f *LoadFixture) Run(ctx context.Context, cfg RunConfig, reg *obs.Registry)
 	}
 	if elapsed > 0 {
 		res.RPS = float64(res.Sent) / elapsed
+	}
+	if wire != nil {
+		res.Wire = wire.stats(reg)
 	}
 	return res, nil
 }

@@ -1,4 +1,4 @@
-package sim
+package load
 
 import (
 	"context"
@@ -104,6 +104,50 @@ func TestLoadRunClosedLoop(t *testing.T) {
 	}
 	if res.RPS <= 0 {
 		t.Fatalf("no RPS: %+v", res)
+	}
+}
+
+// TestLoadRunTransport drives the same pooled workload over localhost
+// TCP through the mux client fleet and serve pipeline: outcomes must
+// match the in-process expectations exactly (zero unexpected, zero
+// errors), and the wire stats section must be reported.
+func TestLoadRunTransport(t *testing.T) {
+	f, err := NewLoadFixture(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.Server.Instrument(reg)
+	res, err := f.Run(context.Background(), RunConfig{
+		Mode:        "closed",
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		Conns:       2,
+		Transport:   true,
+		ChurnEvery:  100 * time.Millisecond,
+		Seed:        7,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Allowed == 0 {
+		t.Fatalf("no wire traffic: %+v", res)
+	}
+	if res.Unexpected != 0 {
+		t.Fatalf("%d unexpected outcomes over the wire: %+v", res.Unexpected, res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors over a clean localhost link: %+v", res.Errors, res)
+	}
+	if res.Wire == nil || res.Wire.Conns != 2 {
+		t.Fatalf("missing or wrong wire stats: %+v", res.Wire)
+	}
+	if res.Wire.ConnLost != 0 {
+		t.Fatalf("lost connections on a clean link: %+v", res.Wire)
+	}
+	// The serve pipeline framed every request and reply over TCP.
+	if got := reg.Snapshot().CounterValue(`transport_frames_total{dir="in"}`); got == 0 {
+		t.Fatal("no inbound frames counted; traffic did not cross the wire")
 	}
 }
 

@@ -39,6 +39,11 @@ var (
 	ErrNodeDown = errors.New("transport: node down")
 	// ErrDropped indicates the message was lost (loss injection).
 	ErrDropped = errors.New("transport: message dropped")
+	// ErrInboxFull indicates the destination's inbox buffer is full: the
+	// receiver is not draining fast enough and the sender must back off.
+	// Distinct from ErrDropped, which is injected fault loss — an inbox
+	// overflow is backpressure, not a lossy link.
+	ErrInboxFull = errors.New("transport: inbox full")
 	// ErrRecvTimeout indicates RecvTimeout expired with no message.
 	ErrRecvTimeout = errors.New("transport: receive timeout")
 )
@@ -82,9 +87,14 @@ type Memory struct {
 	closed  bool
 }
 
-// MetricDropped counts messages lost to fault injection or full inboxes
-// (in-memory network only).
+// MetricDropped counts messages lost to fault injection (in-memory
+// network only).
 const MetricDropped = "transport_dropped_total"
+
+// MetricInboxFull counts sends refused because the destination inbox was
+// full (in-memory network only). Kept apart from MetricDropped so
+// backpressure is never mistaken for a configured fault plan.
+const MetricInboxFull = "transport_inbox_full_total"
 
 // Instrument injects a metrics registry: deliveries count under
 // transport_frames_total/transport_bytes_total (dir="out") and losses
@@ -182,15 +192,26 @@ func (m *Memory) send(env Envelope) error {
 	latency := m.faults.Latency
 	m.mu.Unlock()
 
+	// Delivery re-checks closed under the lock: Close closes the inbox
+	// channels, and sending into a channel concurrently with its close is
+	// a race (and a panic). The inbox send itself is non-blocking, so
+	// holding the lock across it cannot deadlock.
 	deliver := func() error {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return ErrClosed
+		}
 		select {
 		case ch <- env:
+			m.mu.Unlock()
 			m.reg.Counter(MetricFrames, "dir", "out").Inc()
 			m.reg.Counter(MetricBytes, "dir", "out").Add(int64(len(env.Payload)))
 			return nil
 		default:
-			m.reg.Counter(MetricDropped).Inc()
-			return fmt.Errorf("%s inbox full: %w", env.To, ErrDropped)
+			m.mu.Unlock()
+			m.reg.Counter(MetricInboxFull).Inc()
+			return fmt.Errorf("%s: %w", env.To, ErrInboxFull)
 		}
 	}
 	if latency > 0 {

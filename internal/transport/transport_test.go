@@ -82,6 +82,62 @@ func TestMemoryDeterministicLoss(t *testing.T) {
 	}
 }
 
+// TestMemoryInboxFullBackpressure: overflowing an undrained inbox is
+// backpressure, not loss — the send fails with ErrInboxFull (never
+// ErrDropped), is counted under transport_inbox_full_total, and leaves
+// the fault-drop counters untouched even though no fault plan is set.
+func TestMemoryInboxFullBackpressure(t *testing.T) {
+	net := NewMemory(Faults{})
+	defer net.Close()
+	reg := obs.NewRegistry()
+	net.Instrument(reg)
+	a := net.Endpoint("A")
+	net.Endpoint("B") // registered but never draining
+	var full error
+	for i := 0; i < 1025; i++ {
+		if err := a.Send("B", "k", nil); err != nil {
+			full = err
+			break
+		}
+	}
+	if !errors.Is(full, ErrInboxFull) {
+		t.Fatalf("overflowing send = %v, want ErrInboxFull", full)
+	}
+	if errors.Is(full, ErrDropped) {
+		t.Fatal("inbox overflow must not be classified as fault loss")
+	}
+	if got := reg.Counter(MetricInboxFull).Value(); got < 1 {
+		t.Errorf("%s = %d, want >= 1", MetricInboxFull, got)
+	}
+	if got := reg.Counter(MetricDropped).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0 (no fault plan configured)", MetricDropped, got)
+	}
+	if _, dropped := net.Stats(); dropped != 0 {
+		t.Errorf("Stats dropped = %d, want 0", dropped)
+	}
+}
+
+// TestMemoryDropVsInboxFullDistinct: with a fault plan configured, an
+// injected drop still reports ErrDropped and counts under
+// transport_dropped_total — the two failure modes stay separable.
+func TestMemoryDropVsInboxFullDistinct(t *testing.T) {
+	net := NewMemory(Faults{DropEveryN: 1})
+	defer net.Close()
+	reg := obs.NewRegistry()
+	net.Instrument(reg)
+	a := net.Endpoint("A")
+	net.Endpoint("B")
+	if err := a.Send("B", "k", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("injected drop = %v, want ErrDropped", err)
+	}
+	if got := reg.Counter(MetricDropped).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDropped, got)
+	}
+	if got := reg.Counter(MetricInboxFull).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricInboxFull, got)
+	}
+}
+
 func TestMemoryLatency(t *testing.T) {
 	net := NewMemory(Faults{Latency: 20 * time.Millisecond})
 	defer net.Close()

@@ -46,6 +46,11 @@ echo "==> loadgen smoke (tiny coalition, 2s closed loop with churn)"
 go run ./cmd/loadgen -principals 2000 -objects 16 -keys 8 -pool 48 \
     -duration 2s -concurrency 2 -churn-every 300ms -label smoke > /dev/null
 
+echo "==> loadgen wire smoke (same coalition over localhost TCP via mux clients)"
+go run ./cmd/loadgen -principals 2000 -objects 16 -keys 8 -pool 48 \
+    -duration 2s -concurrency 4 -transport -conns 2 -churn-every 300ms \
+    -label wire-smoke > /dev/null
+
 echo "==> delegation scenario smoke (8-scenario suite incl. depth bound through the daemon)"
 go run ./cmd/experiments -only e12 > /dev/null
 
@@ -81,7 +86,7 @@ for m in $batch_metrics; do
         fail=1
     fi
 done
-loadgen_metrics=$(grep -ohE '"loadgen_[a-z_]+"' internal/sim/load.go | tr -d '"' | sort -u)
+loadgen_metrics=$(grep -ohE '"loadgen_[a-z_]+"' internal/sim/load/load.go | tr -d '"' | sort -u)
 for m in $loadgen_metrics; do
     if ! grep -rq -- "$m" docs/; then
         echo "docs lint: loadgen metric $m not documented anywhere in docs/" >&2
@@ -92,6 +97,20 @@ delegation_metrics=$(grep -ohE '"delegation_[a-z_]+"' internal/delegation/*.go |
 for m in $delegation_metrics; do
     if ! grep -rq -- "$m" docs/; then
         echo "docs lint: delegation metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+mux_metrics=$(grep -ohE '"daemon_(mux|dedup)_[a-z_]+"' internal/daemon/*.go | tr -d '"' | sort -u)
+for m in $mux_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: mux/dedup metric $m not documented anywhere in docs/" >&2
+        fail=1
+    fi
+done
+backpressure_metrics=$(grep -ohE '"transport_(inbox_full|dropped)_[a-z_]+"' internal/transport/*.go | tr -d '"' | sort -u)
+for m in $backpressure_metrics; do
+    if ! grep -rq -- "$m" docs/; then
+        echo "docs lint: transport metric $m not documented anywhere in docs/" >&2
         fail=1
     fi
 done
